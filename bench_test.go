@@ -1,0 +1,421 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark per table
+// row family / figure / ablation (see the DESIGN.md experiment index).
+// Besides ns/op they report the domain metric that the paper's tables are
+// about — broadcast rounds — via the custom "rounds" metric.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package dualgraph_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dualgraph"
+	"dualgraph/internal/adversary"
+	"dualgraph/internal/core"
+	"dualgraph/internal/exhaustive"
+	"dualgraph/internal/expt"
+	"dualgraph/internal/graph"
+	"dualgraph/internal/interference"
+	"dualgraph/internal/linkest"
+	"dualgraph/internal/lowerbound"
+	"dualgraph/internal/repeat"
+	"dualgraph/internal/sim"
+	"dualgraph/internal/ssf"
+	"dualgraph/internal/stats"
+)
+
+// benchRun executes one simulation per iteration and reports the mean
+// completion round as the "rounds" metric.
+func benchRun(b *testing.B, d *graph.Dual, mkAlg func() (sim.Algorithm, error), adv sim.Adversary, cfg sim.Config) {
+	b.Helper()
+	total := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg, err := mkAlg()
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		res, err := sim.Run(d, alg, adv, c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatalf("broadcast incomplete within %d rounds", c.MaxRounds)
+		}
+		total += res.Rounds
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "rounds")
+}
+
+// BenchmarkTable1ClassicalRoundRobin — Table 1, classical column: O(n)
+// deterministic broadcast (round robin, benign adversary, G = G').
+func BenchmarkTable1ClassicalRoundRobin(b *testing.B) {
+	for _, n := range []int{32, 64, 128, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			// The line is the hard O(n) case: one hop per full schedule pass
+			// is not needed because node ids advance along the path, so
+			// round robin finishes in n-1 rounds — linear, as Table 1 says.
+			d, err := graph.Line(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchRun(b, d, func() (sim.Algorithm, error) { return core.NewRoundRobin(), nil },
+				adversary.Benign{}, sim.Config{Rule: sim.CR3, Start: sim.SyncStart, Seed: 1})
+		})
+	}
+}
+
+// BenchmarkTable1DualStrongSelect — Table 1, dual column (bold): Strong
+// Select under CR4/async against the adaptive adversary.
+func BenchmarkTable1DualStrongSelect(b *testing.B) {
+	for _, n := range []int{33, 65, 129, 257} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			d, err := graph.CliqueBridge(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchRun(b, d, func() (sim.Algorithm, error) { return core.NewStrongSelect(n) },
+				adversary.GreedyCollider{}, sim.Config{Rule: sim.CR4, Start: sim.AsyncStart, Seed: 1})
+		})
+	}
+}
+
+// BenchmarkTable1Theorem2LowerBound — the Theorem 2 adversary game (forced
+// rounds > n-3 at diameter 2).
+func BenchmarkTable1Theorem2LowerBound(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			forced := 0
+			for i := 0; i < b.N; i++ {
+				res, err := lowerbound.RunTheorem2Game(n, core.NewRoundRobin(), 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				forced = res.ForcedRounds
+			}
+			b.ReportMetric(float64(forced), "forced-rounds")
+		})
+	}
+}
+
+// BenchmarkTable1Theorem12LowerBound — the Theorem 12 candidate-set game
+// (forced rounds ≥ (n-1)/4·(log2(n-1)-2)).
+func BenchmarkTable1Theorem12LowerBound(b *testing.B) {
+	for _, n := range []int{9, 17, 33} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			forced := 0
+			for i := 0; i < b.N; i++ {
+				res, err := lowerbound.RunTheorem12Game(n, core.NewRoundRobin(), 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				forced = res.ForcedRounds
+			}
+			b.ReportMetric(float64(forced), "forced-rounds")
+		})
+	}
+}
+
+// BenchmarkTable2ClassicalDecay — Table 2, classical column: randomized
+// broadcast via Decay on classical graphs.
+func BenchmarkTable2ClassicalDecay(b *testing.B) {
+	for _, n := range []int{32, 64, 128, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			d, err := graph.Complete(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchRun(b, d, func() (sim.Algorithm, error) { return core.NewDecay(), nil },
+				adversary.Benign{}, sim.Config{Rule: sim.CR3, Start: sim.AsyncStart, Seed: 1, MaxRounds: 4000 * n})
+		})
+	}
+}
+
+// BenchmarkTable2DualHarmonic — Table 2, dual column (bold): Harmonic
+// Broadcast on dual graphs against the adaptive adversary.
+func BenchmarkTable2DualHarmonic(b *testing.B) {
+	for _, n := range []int{33, 65, 129, 257} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			d, err := graph.CliqueBridge(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			alg, err := core.NewHarmonicForN(n, 0.02)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bound := int(2 * float64(n*alg.T) * stats.HarmonicNumber(n))
+			benchRun(b, d, func() (sim.Algorithm, error) { return alg, nil },
+				adversary.GreedyCollider{}, sim.Config{Rule: sim.CR4, Start: sim.AsyncStart, Seed: 1, MaxRounds: bound})
+		})
+	}
+}
+
+// BenchmarkTable2Theorem4 — the Theorem 4 Monte-Carlo harness.
+func BenchmarkTable2Theorem4(b *testing.B) {
+	n, k := 14, 5
+	alg, err := core.NewUniform(0.25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	minSuccess := 0.0
+	for i := 0; i < b.N; i++ {
+		res, err := lowerbound.RunTheorem4(n, k, 40, alg, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		minSuccess = res.MinSuccess
+	}
+	b.ReportMetric(minSuccess, "min-success")
+	b.ReportMetric(float64(k)/float64(n-2), "thm4-bound")
+}
+
+// BenchmarkSeparation — classical vs dual on the same topology (Section 1
+// separation claim), reported as dual rounds for Strong Select.
+func BenchmarkSeparation(b *testing.B) {
+	n := 65
+	dual, err := graph.CliqueBridge(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	classical, err := graph.Classical(dual.G(), dual.Source())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("classical", func(b *testing.B) {
+		benchRun(b, classical, func() (sim.Algorithm, error) { return core.NewStrongSelect(n) },
+			adversary.Benign{}, sim.Config{Rule: sim.CR4, Start: sim.AsyncStart, Seed: 1})
+	})
+	b.Run("dual", func(b *testing.B) {
+		benchRun(b, dual, func() (sim.Algorithm, error) { return core.NewStrongSelect(n) },
+			adversary.GreedyCollider{}, sim.Config{Rule: sim.CR4, Start: sim.AsyncStart, Seed: 1})
+	})
+}
+
+// BenchmarkBusyRounds — Lemma 15 busy-round counting over wake-up patterns.
+func BenchmarkBusyRounds(b *testing.B) {
+	n, T := 128, 4
+	pattern := core.FrontLoadedPattern(n)
+	bound := float64(n*T) * stats.HarmonicNumber(n)
+	horizon := int(4*bound) + 100
+	busy := 0
+	for i := 0; i < b.N; i++ {
+		busy = core.BusyRounds(pattern, T, horizon)
+		if float64(busy) > bound {
+			b.Fatalf("Lemma 15 violated: %d > %.0f", busy, bound)
+		}
+	}
+	b.ReportMetric(float64(busy), "busy-rounds")
+	b.ReportMetric(bound, "lemma15-bound")
+}
+
+// BenchmarkSSFConstruction — constructive Kautz-Singleton SSF sizes
+// (Section 5 selection objects).
+func BenchmarkSSFConstruction(b *testing.B) {
+	for _, c := range []struct{ n, k int }{{1024, 4}, {4096, 8}, {16384, 16}} {
+		b.Run(fmt.Sprintf("n=%d/k=%d", c.n, c.k), func(b *testing.B) {
+			size := 0
+			for i := 0; i < b.N; i++ {
+				f, err := ssf.NewReedSolomon(c.n, c.k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = f.Size()
+			}
+			b.ReportMetric(float64(size), "family-size")
+		})
+	}
+}
+
+// BenchmarkLemma1Reduction — dual-graph algorithm on an
+// explicit-interference network via the Appendix A reduction adversary.
+func BenchmarkLemma1Reduction(b *testing.B) {
+	d, err := graph.RandomDual(64, 0.12, 0.35, dualgraph.NewRand(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := interference.FromDual(d)
+	b.Run("native", func(b *testing.B) {
+		total := 0
+		for i := 0; i < b.N; i++ {
+			alg, err := core.NewHarmonicForN(64, 0.02)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := interference.Run(m, alg, sim.Config{Seed: int64(i), MaxRounds: 200000})
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += res.Rounds
+		}
+		b.ReportMetric(float64(total)/float64(b.N), "rounds")
+	})
+	b.Run("reduction", func(b *testing.B) {
+		benchRun(b, m.Dual(), func() (sim.Algorithm, error) { return core.NewHarmonicForN(64, 0.02) },
+			interference.ReductionAdversary{}, sim.Config{Seed: 0, MaxRounds: 200000})
+	})
+}
+
+// BenchmarkCollisionRules — CR1-CR4 ablation on the layered network.
+func BenchmarkCollisionRules(b *testing.B) {
+	n := 33
+	d, err := graph.CompleteLayered(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rule := range []sim.CollisionRule{sim.CR1, sim.CR2, sim.CR3, sim.CR4} {
+		b.Run(rule.String(), func(b *testing.B) {
+			benchRun(b, d, func() (sim.Algorithm, error) { return core.NewStrongSelect(n) },
+				adversary.GreedyCollider{}, sim.Config{Rule: rule, Start: sim.AsyncStart, Seed: 1})
+		})
+	}
+}
+
+// BenchmarkHarmonicT — Harmonic Broadcast T ablation (Theorem 18 parameter).
+func BenchmarkHarmonicT(b *testing.B) {
+	n := 33
+	d, err := graph.CliqueBridge(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	paperT := core.HarmonicT(n, 0.02)
+	for _, mult := range []float64{0.5, 1, 2} {
+		T := int(float64(paperT) * mult)
+		b.Run(fmt.Sprintf("T=%.1fx", mult), func(b *testing.B) {
+			benchRun(b, d, func() (sim.Algorithm, error) { return core.NewHarmonic(T) },
+				adversary.GreedyCollider{}, sim.Config{Rule: sim.CR4, Start: sim.AsyncStart, Seed: 1,
+					MaxRounds: 40 * n * paperT})
+		})
+	}
+}
+
+// BenchmarkAdversaryStrength — adversary ablation for Harmonic Broadcast.
+func BenchmarkAdversaryStrength(b *testing.B) {
+	n := 33
+	d, err := graph.CliqueBridge(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rnd, err := adversary.NewRandom(0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	advs := []sim.Adversary{adversary.Benign{}, rnd, adversary.GreedyCollider{}, adversary.FullDelivery{}}
+	for _, adv := range advs {
+		b.Run(adv.Name(), func(b *testing.B) {
+			benchRun(b, d, func() (sim.Algorithm, error) { return core.NewHarmonicForN(n, 0.02) },
+				adv, sim.Config{Rule: sim.CR4, Start: sim.AsyncStart, Seed: 1, MaxRounds: 400 * n * 10})
+		})
+	}
+}
+
+// BenchmarkExtDeltaSelect — the Section 2.2 Δ-aware baseline on a
+// low-degree network where it should win.
+func BenchmarkExtDeltaSelect(b *testing.B) {
+	d, err := graph.Line(65)
+	if err != nil {
+		b.Fatal(err)
+	}
+	delta := d.GPrime().MaxInDegree()
+	b.Run("delta-select", func(b *testing.B) {
+		benchRun(b, d, func() (sim.Algorithm, error) { return core.NewDeltaSelect(65, delta) },
+			adversary.GreedyCollider{}, sim.Config{Rule: sim.CR4, Start: sim.AsyncStart, Seed: 1})
+	})
+	b.Run("strong-select", func(b *testing.B) {
+		benchRun(b, d, func() (sim.Algorithm, error) { return core.NewStrongSelect(65) },
+			adversary.GreedyCollider{}, sim.Config{Rule: sim.CR4, Start: sim.AsyncStart, Seed: 1})
+	})
+}
+
+// BenchmarkExtRepeatedBroadcast — sequential vs pipelined repeated
+// broadcast throughput (Section 8 future work).
+func BenchmarkExtRepeatedBroadcast(b *testing.B) {
+	d, err := graph.CliqueBridge(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq, err := repeat.NewSequential(48, false, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipe, err := repeat.NewPipelined(false, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []repeat.Protocol{seq, pipe} {
+		b.Run(p.Name(), func(b *testing.B) {
+			throughput := 0.0
+			for i := 0; i < b.N; i++ {
+				res, err := repeat.Run(d, p, repeat.Config{
+					Messages: 8, MaxRounds: 100000, Seed: int64(i), Adversary: repeat.Greedy,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Completed {
+					b.Fatal("repeated broadcast incomplete")
+				}
+				throughput = res.Throughput
+			}
+			b.ReportMetric(throughput, "msgs/round")
+		})
+	}
+}
+
+// BenchmarkExtLinkCulling — the probe-cull pipeline of the introduction.
+func BenchmarkExtLinkCulling(b *testing.B) {
+	d, err := graph.Grid(5, 5, 2, 0.5, dualgraph.NewRand(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fp := 0
+	for i := 0; i < b.N; i++ {
+		s, err := linkest.Probe(d, 0.95, 200, 0.75, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		fp = s.FalsePositives
+	}
+	b.ReportMetric(float64(fp), "false-positives")
+}
+
+// BenchmarkExtExhaustiveSearch — exhaustive worst-case adversary search on
+// the tiny Theorem 2 network.
+func BenchmarkExtExhaustiveSearch(b *testing.B) {
+	d, err := graph.CliqueBridge(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	worst := 0
+	for i := 0; i < b.N; i++ {
+		res, err := exhaustive.Search(d, core.NewRoundRobin(), exhaustive.Config{
+			Rule: sim.CR1, Horizon: 40,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = res.WorstRounds
+	}
+	b.ReportMetric(float64(worst), "worst-rounds")
+}
+
+// BenchmarkExperimentsQuick runs the full experiment registry in quick mode
+// once per iteration; it is the end-to-end cost of regenerating every table.
+func BenchmarkExperimentsQuick(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, e := range expt.All() {
+			if err := e.Run(expt.Config{Out: discard{}, Quick: true, Seed: 3}); err != nil {
+				b.Fatalf("%s: %v", e.ID, err)
+			}
+		}
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,63 @@
+// Command dgbench regenerates the paper's tables and figures as measured
+// experiments. Run all of them or one by ID (see DESIGN.md for the index):
+//
+//	dgbench -experiment all
+//	dgbench -experiment table1-thm12 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dualgraph/internal/expt"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dgbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dgbench", flag.ContinueOnError)
+	var (
+		id    = fs.String("experiment", "all", "experiment id, 'all', or 'list'")
+		quick = fs.Bool("quick", false, "smaller sweeps and trial counts")
+		seed  = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := expt.Config{Out: os.Stdout, Quick: *quick, Seed: *seed}
+
+	switch *id {
+	case "list":
+		for _, e := range expt.All() {
+			fmt.Printf("%-26s %s\n", e.ID, e.Title)
+		}
+		return nil
+	case "all":
+		for i, e := range expt.All() {
+			if i > 0 {
+				fmt.Println()
+			}
+			if err := e.Run(cfg); err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+		}
+		return nil
+	default:
+		e, ok := expt.ByID(*id)
+		if !ok {
+			var ids []string
+			for _, x := range expt.All() {
+				ids = append(ids, x.ID)
+			}
+			return fmt.Errorf("unknown experiment %q; known: %s", *id, strings.Join(ids, ", "))
+		}
+		return e.Run(cfg)
+	}
+}

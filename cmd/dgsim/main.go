@@ -1,0 +1,141 @@
+// Command dgsim runs a single broadcast simulation: one topology, one
+// algorithm, one adversary, one collision rule, and prints the outcome.
+//
+// Example:
+//
+//	dgsim -topo clique-bridge -n 33 -alg harmonic -adv greedy -rule 4 -seed 7 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dualgraph"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dgsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dgsim", flag.ContinueOnError)
+	var (
+		topo      = fs.String("topo", "clique-bridge", "topology: clique-bridge|complete-layered|line|star|complete|tree|grid|random|geometric")
+		n         = fs.Int("n", 33, "network size")
+		algName   = fs.String("alg", "harmonic", "algorithm: strong-select|harmonic|round-robin|decay|uniform")
+		advName   = fs.String("adv", "greedy", "adversary: benign|random|greedy|full")
+		rule      = fs.Int("rule", 4, "collision rule 1..4")
+		start     = fs.String("start", "async", "start rule: sync|async")
+		seed      = fs.Int64("seed", 1, "random seed")
+		maxRounds = fs.Int("max-rounds", 0, "round cap (0 = default)")
+		p         = fs.Float64("p", 0.25, "probability parameter for uniform algorithm / random adversary")
+		verbose   = fs.Bool("v", false, "print per-node first-receive rounds")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	net, err := buildTopology(*topo, *n, *seed)
+	if err != nil {
+		return err
+	}
+	alg, err := buildAlgorithm(*algName, net.N(), *p)
+	if err != nil {
+		return err
+	}
+	adv, err := buildAdversary(*advName, *p)
+	if err != nil {
+		return err
+	}
+	cfg := dualgraph.Config{
+		Rule:      dualgraph.CollisionRule(*rule),
+		MaxRounds: *maxRounds,
+		Seed:      *seed,
+	}
+	switch *start {
+	case "sync":
+		cfg.Start = dualgraph.SyncStart
+	case "async":
+		cfg.Start = dualgraph.AsyncStart
+	default:
+		return fmt.Errorf("unknown start rule %q", *start)
+	}
+
+	res, err := dualgraph.Run(net, alg, adv, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("topology=%s n=%d alg=%s adversary=%s rule=CR%d start=%s seed=%d\n",
+		*topo, net.N(), alg.Name(), adv.Name(), *rule, *start, *seed)
+	fmt.Printf("completed=%v rounds=%d transmissions=%d eccentricity=%d\n",
+		res.Completed, res.Rounds, res.Transmissions, net.Eccentricity())
+	if *verbose {
+		for node, r := range res.FirstReceive {
+			fmt.Printf("  node %3d (pid %3d): first receive round %d\n", node, res.ProcOf[node], r)
+		}
+	}
+	return nil
+}
+
+func buildTopology(name string, n int, seed int64) (*dualgraph.Network, error) {
+	rng := dualgraph.NewRand(seed)
+	switch name {
+	case "clique-bridge":
+		return dualgraph.CliqueBridge(n)
+	case "complete-layered":
+		return dualgraph.CompleteLayered(n)
+	case "line":
+		return dualgraph.Line(n)
+	case "star":
+		return dualgraph.Star(n)
+	case "complete":
+		return dualgraph.Complete(n)
+	case "tree":
+		return dualgraph.BinaryTree(n)
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return dualgraph.Grid(side, side, 2, 0.3, rng)
+	case "random":
+		return dualgraph.RandomDual(n, 0.12, 0.35, rng)
+	case "geometric":
+		return dualgraph.Geometric(n, 0.28, 0.7, rng)
+	}
+	return nil, fmt.Errorf("unknown topology %q", name)
+}
+
+func buildAlgorithm(name string, n int, p float64) (dualgraph.Algorithm, error) {
+	switch name {
+	case "strong-select":
+		return dualgraph.NewStrongSelect(n)
+	case "harmonic":
+		return dualgraph.NewHarmonicForN(n, 0.02)
+	case "round-robin":
+		return dualgraph.NewRoundRobin(), nil
+	case "decay":
+		return dualgraph.NewDecay(), nil
+	case "uniform":
+		return dualgraph.NewUniform(p)
+	}
+	return nil, fmt.Errorf("unknown algorithm %q", name)
+}
+
+func buildAdversary(name string, p float64) (dualgraph.Adversary, error) {
+	switch name {
+	case "benign":
+		return dualgraph.Benign{}, nil
+	case "random":
+		return dualgraph.NewRandomAdversary(p)
+	case "greedy":
+		return dualgraph.GreedyCollider{}, nil
+	case "full":
+		return dualgraph.FullDelivery{}, nil
+	}
+	return nil, fmt.Errorf("unknown adversary %q", name)
+}

@@ -1,0 +1,306 @@
+// Package dualgraph is the public API of the dual-graph radio network
+// library, a full reproduction of "Broadcasting in Unreliable Radio
+// Networks" (Kuhn, Lynch, Newport, Oshman, Richa; 2010).
+//
+// A network is a pair (G, G') of graphs over the same nodes with E ⊆ E':
+// G edges are reliable and always deliver, G' \ G edges are unreliable and a
+// per-round adversary decides whether they deliver. The package provides:
+//
+//   - the synchronous round-based execution model with collision rules
+//     CR1-CR4 and synchronous/asynchronous starts (Run, Config);
+//   - the paper's algorithms: deterministic Strong Select
+//     (O(n^{3/2} √log n), Section 5) and randomized Harmonic Broadcast
+//     (O(n log² n) w.h.p., Section 7), plus baselines (round robin, Decay,
+//     uniform);
+//   - adversaries from benign to adaptive worst-case;
+//   - topology generators (clique+bridge, complete layered, grids with
+//     gray-zone links, random and geometric duals, ...);
+//   - executable lower bounds (Theorems 2, 4 and 12) and the
+//     explicit-interference reduction (Lemma 1).
+//
+// Quick start:
+//
+//	net, err := dualgraph.Geometric(64, 0.25, 0.6, rng)
+//	alg, err := dualgraph.NewHarmonicForN(64, 0.01)
+//	res, err := dualgraph.Run(net, alg, dualgraph.GreedyCollider{}, dualgraph.Config{Seed: 1})
+//	fmt.Println(res.Rounds, res.Completed)
+package dualgraph
+
+import (
+	"math/rand"
+
+	"dualgraph/internal/adversary"
+	"dualgraph/internal/core"
+	"dualgraph/internal/exhaustive"
+	"dualgraph/internal/graph"
+	"dualgraph/internal/interference"
+	"dualgraph/internal/linkest"
+	"dualgraph/internal/lowerbound"
+	"dualgraph/internal/repeat"
+	"dualgraph/internal/schedule"
+	"dualgraph/internal/sim"
+	"dualgraph/internal/ssf"
+)
+
+// Model types.
+type (
+	// NodeID identifies a node (0..n-1).
+	NodeID = graph.NodeID
+	// Graph is a directed or undirected simple graph.
+	Graph = graph.Graph
+	// Network is a dual-graph network (G, G') with a distinguished source.
+	Network = graph.Dual
+	// CollisionRule selects one of the paper's rules CR1-CR4.
+	CollisionRule = sim.CollisionRule
+	// StartRule selects synchronous or asynchronous start.
+	StartRule = sim.StartRule
+	// Reception is what a process hears in a round.
+	Reception = sim.Reception
+	// Process is one automaton of a broadcast algorithm.
+	Process = sim.Process
+	// Algorithm creates processes.
+	Algorithm = sim.Algorithm
+	// Adversary controls assignments, unreliable deliveries, and CR4.
+	Adversary = sim.Adversary
+	// View is the read-only state exposed to adversaries.
+	View = sim.View
+	// Config parameterizes a run.
+	Config = sim.Config
+	// Result summarizes an execution.
+	Result = sim.Result
+)
+
+// Collision and start rules.
+const (
+	CR1 = sim.CR1
+	CR2 = sim.CR2
+	CR3 = sim.CR3
+	CR4 = sim.CR4
+
+	SyncStart  = sim.SyncStart
+	AsyncStart = sim.AsyncStart
+)
+
+// NoDelivery is the CR4 "resolve to silence" sentinel for Adversary
+// implementations.
+const NoDelivery = sim.NoDelivery
+
+// Reception kinds.
+const (
+	Silence   = sim.Silence
+	Delivered = sim.Delivered
+	Collision = sim.Collision
+)
+
+// Run executes an algorithm against an adversary on a network.
+func Run(net *Network, alg Algorithm, adv Adversary, cfg Config) (*Result, error) {
+	return sim.Run(net, alg, adv, cfg)
+}
+
+// Graph construction.
+var (
+	// NewGraph returns an empty n-node graph.
+	NewGraph = graph.NewGraph
+	// NewNetwork validates and assembles a dual graph network (G, G').
+	NewNetwork = graph.NewDual
+	// Classical wraps a single graph as the network (G, G).
+	Classical = graph.Classical
+)
+
+// Topology generators.
+var (
+	// CliqueBridge is the Theorem 2 network: an (n-1)-clique plus a receiver
+	// behind a bridge; G' complete.
+	CliqueBridge = graph.CliqueBridge
+	// CompleteLayered is the Theorem 12 network of two-node layers.
+	CompleteLayered = graph.CompleteLayered
+	// Line is the classical path.
+	Line = graph.Line
+	// Star is the classical star.
+	Star = graph.Star
+	// Complete is the classical clique.
+	Complete = graph.Complete
+	// BinaryTree is the classical complete binary tree.
+	BinaryTree = graph.BinaryTree
+	// Grid is a lattice with random unreliable gray-zone links.
+	Grid = graph.Grid
+	// RandomDual is a random connected G plus random unreliable edges.
+	RandomDual = graph.RandomDual
+	// Geometric is a unit-square placement with reliable short links and
+	// unreliable longer ones.
+	Geometric = graph.Geometric
+	// DirectedLayered is a directed layered dual graph.
+	DirectedLayered = graph.DirectedLayered
+	// LayeredRandom is an undirected layered dual graph with given layer
+	// sizes.
+	LayeredRandom = graph.LayeredRandom
+)
+
+// Algorithms.
+type (
+	// StrongSelect is the deterministic Section 5 algorithm.
+	StrongSelect = core.StrongSelect
+	// Harmonic is the randomized Section 7 algorithm.
+	Harmonic = core.Harmonic
+	// RoundRobin is the deterministic baseline.
+	RoundRobin = core.RoundRobin
+	// Decay is the classical randomized baseline.
+	Decay = core.Decay
+	// Uniform is the fixed-probability baseline.
+	Uniform = core.Uniform
+	// DeltaSelect is the Δ-aware oblivious baseline (Clementi et al.).
+	DeltaSelect = core.DeltaSelect
+	// TreeCast is a centralized known-topology BFS schedule.
+	TreeCast = core.TreeCast
+)
+
+// Algorithm constructors.
+var (
+	// NewStrongSelect builds Strong Select for n processes.
+	NewStrongSelect = core.NewStrongSelect
+	// NewHarmonic builds Harmonic Broadcast with an explicit level length T.
+	NewHarmonic = core.NewHarmonic
+	// NewHarmonicForN builds Harmonic Broadcast with the paper's
+	// T = ceil(12 ln(n/ε)).
+	NewHarmonicForN = core.NewHarmonicForN
+	// NewRoundRobin builds the round-robin baseline.
+	NewRoundRobin = core.NewRoundRobin
+	// NewDecay builds the Decay baseline.
+	NewDecay = core.NewDecay
+	// NewUniform builds the uniform-probability baseline.
+	NewUniform = core.NewUniform
+	// NewDeltaSelect builds the Δ-aware baseline for a known in-degree
+	// bound on G'.
+	NewDeltaSelect = core.NewDeltaSelect
+	// NewTreeCast precomputes a BFS broadcast schedule over a trusted graph.
+	NewTreeCast = core.NewTreeCast
+)
+
+// Adversaries.
+type (
+	// Benign never uses unreliable edges.
+	Benign = adversary.Benign
+	// FullDelivery always delivers every unreliable edge.
+	FullDelivery = adversary.FullDelivery
+	// RandomAdversary delivers unreliable edges with probability P.
+	RandomAdversary = adversary.Random
+	// GreedyCollider adaptively jams single deliveries into collisions.
+	GreedyCollider = adversary.GreedyCollider
+	// Theorem2Adversary implements the proof rules of Theorem 2.
+	Theorem2Adversary = adversary.Theorem2
+)
+
+// Adversary constructors.
+var (
+	// NewRandomAdversary validates p and builds a stochastic adversary.
+	NewRandomAdversary = adversary.NewRandom
+	// NewTheorem2Adversary builds the Theorem 2 adversary with the given
+	// bridge process id.
+	NewTheorem2Adversary = adversary.NewTheorem2
+)
+
+// Strongly selective families (Section 5 selection objects).
+type (
+	// SelectiveFamily is an (n,k)-strongly-selective family.
+	SelectiveFamily = ssf.Family
+)
+
+// Selective family constructors and checkers.
+var (
+	// NewSelectiveFamily returns the smallest available (n,k)-SSF.
+	NewSelectiveFamily = ssf.New
+	// VerifySelectiveFamily exhaustively checks strong selectivity.
+	VerifySelectiveFamily = ssf.Verify
+)
+
+// Lower-bound games.
+var (
+	// RunTheorem2Game forces any deterministic algorithm past n-3 rounds on
+	// a 2-broadcastable network.
+	RunTheorem2Game = lowerbound.RunTheorem2Game
+	// RunTheorem4 Monte-Carlo-bounds randomized success probability.
+	RunTheorem4 = lowerbound.RunTheorem4
+	// RunTheorem12Game forces Ω(n log n) rounds on the layered network.
+	RunTheorem12Game = lowerbound.RunTheorem12Game
+)
+
+// Explicit-interference model (Lemma 1).
+type (
+	// InterferenceModel is an explicit-interference network (G_T, G_I).
+	InterferenceModel = interference.Model
+	// ReductionAdversary is the Lemma 1 dual-graph adversary.
+	ReductionAdversary = interference.ReductionAdversary
+)
+
+// Interference constructors and runner.
+var (
+	// NewInterferenceModel validates G_T ⊆ G_I.
+	NewInterferenceModel = interference.NewModel
+	// RunInterference executes an algorithm natively in the
+	// explicit-interference model.
+	RunInterference = interference.Run
+)
+
+// Repeated broadcast (the paper's Section 8 future work).
+type (
+	// RepeatProtocol creates processes for repeated broadcast.
+	RepeatProtocol = repeat.Protocol
+	// RepeatConfig parameterizes a repeated-broadcast run.
+	RepeatConfig = repeat.Config
+	// RepeatResult summarizes a repeated-broadcast execution.
+	RepeatResult = repeat.Result
+)
+
+// Repeated broadcast constructors and runner.
+var (
+	// NewSequentialRepeat runs one single-message protocol per message.
+	NewSequentialRepeat = repeat.NewSequential
+	// NewPipelinedRepeat keeps all messages in flight.
+	NewPipelinedRepeat = repeat.NewPipelined
+	// RunRepeat executes a repeated-broadcast protocol.
+	RunRepeat = repeat.Run
+)
+
+// Link-quality estimation (the introduction's ETX-style culling).
+type (
+	// LinkSurvey is the outcome of a probing phase.
+	LinkSurvey = linkest.Survey
+)
+
+// ProbeLinks runs a collision-free probing phase and culls links below the
+// delivery-rate threshold.
+var ProbeLinks = linkest.Probe
+
+// Exhaustive worst-case adversary search for small instances.
+type (
+	// SearchConfig parameterizes an exhaustive adversary search.
+	SearchConfig = exhaustive.Config
+	// SearchResult is the worst case found.
+	SearchResult = exhaustive.Result
+)
+
+// SearchWorstCase explores every adversary delivery behaviour on a small
+// network and returns the execution maximizing broadcast time.
+var SearchWorstCase = exhaustive.Search
+
+// Broadcastability analysis (Section 3: k-broadcastable networks).
+type (
+	// BroadcastSchedule is an omniscient per-round transmitter schedule.
+	BroadcastSchedule = schedule.Schedule
+)
+
+// Broadcastability schedulers.
+var (
+	// ExactSchedule finds a minimum-length guaranteed schedule (small n).
+	ExactSchedule = schedule.Exact
+	// GreedySchedule finds a guaranteed schedule at any size.
+	GreedySchedule = schedule.Greedy
+	// ScheduleAlg wraps a schedule as a runnable Algorithm.
+	ScheduleAlg = schedule.Alg
+)
+
+// NewRand returns a seeded math/rand source for topology generators; it
+// exists so example programs do not need to import math/rand themselves.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,101 @@
+package dualgraph_test
+
+import (
+	"testing"
+
+	"dualgraph"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	net, err := dualgraph.Geometric(40, 0.3, 0.7, dualgraph.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := dualgraph.NewHarmonicForN(net.N(), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dualgraph.Run(net, alg, dualgraph.GreedyCollider{}, dualgraph.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("quickstart run did not complete")
+	}
+	if res.Rounds < net.Eccentricity() {
+		t.Fatalf("completed in %d rounds, below the eccentricity %d", res.Rounds, net.Eccentricity())
+	}
+}
+
+func TestFacadeDeterministicStrongSelect(t *testing.T) {
+	net, err := dualgraph.CliqueBridge(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := dualgraph.NewStrongSelect(net.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dualgraph.Run(net, alg, dualgraph.GreedyCollider{}, dualgraph.Config{
+		Rule:  dualgraph.CR4,
+		Start: dualgraph.AsyncStart,
+		Seed:  7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("strong select did not complete")
+	}
+}
+
+func TestFacadeLowerBoundGames(t *testing.T) {
+	res2, err := dualgraph.RunTheorem2Game(12, dualgraph.NewRoundRobin(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.ForcedRounds <= 9 || res2.WitnessRounds != 2 {
+		t.Fatalf("theorem 2 game: forced=%d witness=%d", res2.ForcedRounds, res2.WitnessRounds)
+	}
+	res12, err := dualgraph.RunTheorem12Game(9, dualgraph.NewRoundRobin(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res12.ForcedRounds < res12.TheoryBound {
+		t.Fatalf("theorem 12 game: forced=%d theory=%d", res12.ForcedRounds, res12.TheoryBound)
+	}
+}
+
+func TestFacadeSelectiveFamilies(t *testing.T) {
+	f, err := dualgraph.NewSelectiveFamily(16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dualgraph.VerifySelectiveFamily(f, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeInterference(t *testing.T) {
+	gt := dualgraph.NewGraph(4, false)
+	gt.MustAddEdge(0, 1)
+	gt.MustAddEdge(1, 2)
+	gt.MustAddEdge(2, 3)
+	gi := gt.Clone()
+	gi.MustAddEdge(0, 3)
+	m, err := dualgraph.NewInterferenceModel(gt, gi, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dualgraph.RunInterference(m, dualgraph.NewRoundRobin(), dualgraph.Config{
+		Rule:  dualgraph.CR3,
+		Start: dualgraph.SyncStart,
+		Seed:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("interference run did not complete")
+	}
+}

@@ -1,0 +1,76 @@
+// Adversarial: the Theorem 2 story in runnable form. The clique-bridge
+// network can be broadcast in 2 rounds by an omniscient schedule, yet the
+// paper's adversary — controlling only which unreliable links deliver and
+// which process sits on the bridge — forces every deterministic algorithm
+// past n-3 rounds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dualgraph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const n = 32
+
+	fmt.Printf("Theorem 2 network: %d-node clique + receiver behind a bridge (diameter 2)\n\n", n)
+
+	for _, name := range []string{"round-robin", "strong-select"} {
+		alg, err := buildAlg(name, n)
+		if err != nil {
+			return err
+		}
+		res, err := dualgraph.RunTheorem2Game(n, alg, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s:\n", alg.Name())
+		fmt.Printf("  omniscient witness schedule: %d rounds\n", res.WitnessRounds)
+		fmt.Printf("  against the Theorem 2 adversary: %d rounds (worst bridge pid %d)\n",
+			res.ForcedRounds, res.WorstBridgePid)
+		fmt.Printf("  paper bound: > n-3 = %d rounds — %s\n\n", n-3, verdict(res.ForcedRounds > n-3))
+	}
+
+	// The same network under a benign adversary is easy: the unreliable
+	// clique-to-receiver links never matter because the reliable bridge path
+	// suffices once the bridge is isolated.
+	net, err := dualgraph.CliqueBridge(n)
+	if err != nil {
+		return err
+	}
+	h, err := dualgraph.NewHarmonicForN(n, 0.02)
+	if err != nil {
+		return err
+	}
+	res, err := dualgraph.Run(net, h, dualgraph.Benign{}, dualgraph.Config{Seed: 3})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("randomized harmonic under a benign adversary: %d rounds (completed=%v)\n",
+		res.Rounds, res.Completed)
+	fmt.Println("\nTakeaway: at diameter 2, unreliable links stretch broadcast from O(1)-ish")
+	fmt.Println("to Ω(n) — the separation that motivates the dual graph model.")
+	return nil
+}
+
+func buildAlg(name string, n int) (dualgraph.Algorithm, error) {
+	if name == "round-robin" {
+		return dualgraph.NewRoundRobin(), nil
+	}
+	return dualgraph.NewStrongSelect(n)
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "respected"
+	}
+	return "VIOLATED"
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dualgraph/internal/adversary"
+	"dualgraph/internal/graph"
+	"dualgraph/internal/sim"
+)
+
+func TestNewDeltaSelectValidation(t *testing.T) {
+	if _, err := NewDeltaSelect(1, 1); err == nil {
+		t.Fatal("expected error for n=1")
+	}
+	if _, err := NewDeltaSelect(8, 0); err == nil {
+		t.Fatal("expected error for delta=0")
+	}
+	// delta > n clamps instead of failing.
+	a, err := NewDeltaSelect(8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FamilySize() != 8 {
+		t.Fatalf("clamped family size = %d, want 8 (round robin)", a.FamilySize())
+	}
+}
+
+func TestDeltaSelectScheduleIsOblivious(t *testing.T) {
+	a, err := NewDeltaSelect(16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two processes with the same id must produce identical schedules.
+	p1 := a.NewProcess(5, 16, nil)
+	p2 := a.NewProcess(5, 16, nil)
+	p1.Start(1, true)
+	p2.Start(1, true)
+	for r := 1; r <= 3*a.FamilySize(); r++ {
+		if p1.Decide(r) != p2.Decide(r) {
+			t.Fatalf("schedule not oblivious at round %d", r)
+		}
+	}
+}
+
+func TestDeltaSelectCyclesThroughFamily(t *testing.T) {
+	a, err := NewDeltaSelect(8, 8) // round robin family
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := a.NewProcess(3, 8, nil)
+	p.Start(1, true)
+	for r := 1; r <= 24; r++ {
+		want := (r-1)%8 == 2 // set index id-1
+		if got := p.Decide(r); got != want {
+			t.Errorf("round %d: Decide = %v, want %v", r, got, want)
+		}
+	}
+}
+
+func TestDeltaSelectNonHolderSilent(t *testing.T) {
+	a, err := NewDeltaSelect(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := a.NewProcess(1, 8, nil)
+	p.Start(1, false)
+	for r := 1; r <= 40; r++ {
+		if p.Decide(r) {
+			t.Fatal("non-holder transmitted")
+		}
+	}
+}
+
+func TestDeltaSelectCompletesOnGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	d, err := graph.Grid(5, 5, 2, 0.4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := d.GPrime().MaxInDegree()
+	a, err := NewDeltaSelect(d.N(), delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(d, a, adversary.GreedyCollider{}, sim.Config{
+		Rule:      sim.CR4,
+		Start:     sim.AsyncStart,
+		MaxRounds: d.N() * a.FamilySize() * 2,
+		Seed:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("delta select did not complete on the grid")
+	}
+}
+
+func TestDeltaSelectFrontierAdvancesPerIteration(t *testing.T) {
+	// On a line with delta = true max in-degree, each family iteration must
+	// advance the frontier at least one hop: completion within
+	// (n-1) * familySize rounds.
+	d, err := graph.Line(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewDeltaSelect(10, d.GPrime().MaxInDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(d, a, adversary.Benign{}, sim.Config{
+		Rule:      sim.CR4,
+		Start:     sim.AsyncStart,
+		MaxRounds: 9 * a.FamilySize(),
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("delta select exceeded the per-iteration frontier bound (%d rounds)", 9*a.FamilySize())
+	}
+}
+
+func TestDeltaSelectBeatsStrongSelectOnLowDegree(t *testing.T) {
+	// The Section 2.2 comparison: with small Δ, delta select (which knows Δ)
+	// should finish no later than strong select on a long path.
+	d, err := graph.Line(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := NewDeltaSelect(64, d.GPrime().MaxInDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := NewStrongSelect(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(alg sim.Algorithm) int {
+		res, err := sim.Run(d, alg, adversary.Benign{}, sim.Config{
+			Rule:      sim.CR4,
+			Start:     sim.AsyncStart,
+			MaxRounds: 2_000_000,
+			Seed:      1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("%s did not complete", alg.Name())
+		}
+		return res.Rounds
+	}
+	if dsRounds, ssRounds := run(ds), run(ss); dsRounds > ssRounds {
+		t.Fatalf("delta select (%d rounds) slower than strong select (%d) despite Δ=2", dsRounds, ssRounds)
+	}
+}

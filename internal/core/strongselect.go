@@ -1,0 +1,200 @@
+// Package core implements the paper's broadcast algorithms: the
+// deterministic Strong Select algorithm (Section 5, O(n^{3/2} √log n)
+// rounds), the randomized Harmonic Broadcast algorithm (Section 7,
+// O(n log² n) rounds w.h.p.), and the baselines they are compared against
+// (round robin, the classical Decay protocol, and uniform-probability
+// broadcast).
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+
+	"dualgraph/internal/sim"
+	"dualgraph/internal/ssf"
+)
+
+// StrongSelect is the deterministic broadcast algorithm of Section 5. Rounds
+// are grouped into epochs of 2^smax - 1 rounds; the first round of each
+// epoch runs the smallest strongly selective family F_1, the next two rounds
+// F_2, the next four F_3, and so on, so family F_s advances 2^{s-1} sets per
+// epoch. A node that receives the message waits, for each s, until F_s
+// cycles back to its first set and then participates in exactly one complete
+// iteration of F_s, transmitting in the rounds whose set contains its id.
+// Participating only once bounds the interval in which a node can interfere,
+// at the cost of the amortized progress argument of Theorem 10.
+type StrongSelect struct {
+	n        int
+	smax     int
+	epochLen int
+	families []ssf.Family // families[s-1] is the (n, 2^s)-SSF; the last is round robin
+}
+
+var _ sim.Algorithm = (*StrongSelect)(nil)
+
+// NewStrongSelect builds the algorithm for an n-process network,
+// constructing one strongly selective family per scale s = 1..smax with
+// smax = log2(sqrt(n / log n)) as in the paper (at least 1), and the
+// round-robin (n,n)-SSF at the top scale.
+func NewStrongSelect(n int) (*StrongSelect, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("strong select needs n >= 2, got %d", n)
+	}
+	smax := 1
+	if n >= 4 {
+		s := int(math.Floor(math.Log2(math.Sqrt(float64(n) / math.Log2(float64(n))))))
+		if s > smax {
+			smax = s
+		}
+	}
+	a := &StrongSelect{
+		n:        n,
+		smax:     smax,
+		epochLen: (1 << smax) - 1,
+		families: make([]ssf.Family, smax),
+	}
+	for s := 1; s < smax; s++ {
+		k := 1 << s
+		if k > n {
+			k = n
+		}
+		f, err := ssf.New(n, k)
+		if err != nil {
+			return nil, fmt.Errorf("family for s=%d: %w", s, err)
+		}
+		a.families[s-1] = f
+	}
+	rr, err := ssf.NewRoundRobin(n)
+	if err != nil {
+		return nil, err
+	}
+	a.families[smax-1] = rr
+	return a, nil
+}
+
+// Name implements sim.Algorithm.
+func (a *StrongSelect) Name() string { return "strong-select" }
+
+// Smax returns the number of selective-family scales (diagnostics).
+func (a *StrongSelect) Smax() int { return a.smax }
+
+// EpochLength returns the number of rounds per epoch (diagnostics).
+func (a *StrongSelect) EpochLength() int { return a.epochLen }
+
+// Family returns the (n, 2^s)-SSF used at scale s in 1..Smax (diagnostics).
+func (a *StrongSelect) Family(s int) ssf.Family { return a.families[s-1] }
+
+// Slot describes which selective family and set a given global round runs.
+type Slot struct {
+	// Scale is the family index s in 1..smax.
+	Scale int
+	// Set is the index of the family set used this round.
+	Set int
+	// Counter is the global number of scale-s slots before this one.
+	Counter int
+}
+
+// SlotAt returns the schedule slot of the given 1-based global round.
+// Within an epoch, round positions [2^{s-1}, 2^s - 1] belong to scale s.
+func (a *StrongSelect) SlotAt(round int) Slot {
+	epoch := (round - 1) / a.epochLen
+	pos := (round-1)%a.epochLen + 1
+	s := bits.Len(uint(pos)) // floor(log2 pos) + 1
+	perEpoch := 1 << (s - 1)
+	offset := pos - perEpoch
+	counter := epoch*perEpoch + offset
+	return Slot{
+		Scale:   s,
+		Set:     counter % a.families[s-1].Size(),
+		Counter: counter,
+	}
+}
+
+// NewProcess implements sim.Algorithm. Strong Select is deterministic and
+// ignores rng.
+func (a *StrongSelect) NewProcess(id, n int, _ *rand.Rand) sim.Process {
+	return &strongSelectProc{
+		alg:    a,
+		id:     id,
+		phases: make([]participation, a.smax),
+	}
+}
+
+type participationState int
+
+const (
+	waiting participationState = iota + 1
+	participating
+	finished
+)
+
+type participation struct {
+	state    participationState
+	consumed int
+}
+
+type strongSelectProc struct {
+	alg    *StrongSelect
+	id     int
+	has    bool
+	phases []participation
+}
+
+var _ sim.Process = (*strongSelectProc)(nil)
+
+func (p *strongSelectProc) Start(_ int, hasMessage bool) {
+	for i := range p.phases {
+		p.phases[i] = participation{state: waiting}
+	}
+	if hasMessage {
+		p.has = true
+	}
+}
+
+func (p *strongSelectProc) Decide(round int) bool {
+	if !p.has {
+		return false
+	}
+	slot := p.alg.SlotAt(round)
+	ph := &p.phases[slot.Scale-1]
+	family := p.alg.families[slot.Scale-1]
+	switch ph.state {
+	case waiting:
+		if slot.Set != 0 {
+			return false
+		}
+		// F_s cycled back to its first set: begin the single iteration.
+		ph.state = participating
+		ph.consumed = 0
+	case finished:
+		return false
+	}
+	send := family.Contains(slot.Set, p.id)
+	ph.consumed++
+	if ph.consumed == family.Size() {
+		ph.state = finished
+	}
+	return send
+}
+
+func (p *strongSelectProc) Receive(_ int, r sim.Reception) {
+	if r.Kind == sim.Delivered && r.Broadcast {
+		p.has = true
+	}
+}
+
+// Done reports whether the process has completed all its iterations and will
+// never transmit again (diagnostics and termination tests).
+func (p *strongSelectProc) Done() bool {
+	if !p.has {
+		return false
+	}
+	for _, ph := range p.phases {
+		if ph.state != finished {
+			return false
+		}
+	}
+	return true
+}

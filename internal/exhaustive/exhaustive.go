@@ -1,0 +1,343 @@
+// Package exhaustive performs worst-case adversary search by exhaustive
+// exploration: for small networks and bounded horizons it enumerates every
+// possible per-round choice of unreliable-edge deliveries, replaying the
+// (deterministic) algorithm along each branch, and reports the execution
+// that maximizes broadcast completion time.
+//
+// This turns the model's universally-quantified adversary into an executable
+// check: "algorithm A completes within k rounds on network N under every
+// adversary behaviour" becomes a terminating search. Heuristic adversaries
+// (such as adversary.GreedyCollider) can be validated against the true
+// worst case it finds.
+//
+// The search replays executions from round 1 for every expansion, so the
+// algorithm must be deterministic (it must ignore its rng); the per-round
+// branching is deduplicated by reception signature, which keeps the tree
+// small on the paper's constructions.
+package exhaustive
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dualgraph/internal/graph"
+	"dualgraph/internal/sim"
+)
+
+// Config parameterizes a search.
+type Config struct {
+	// Rule is the collision rule (CR4 collisions resolve to silence during
+	// the search; see package comment). Default CR1.
+	Rule sim.CollisionRule
+	// Start is the start rule (default SyncStart, the lower-bound setting).
+	Start sim.StartRule
+	// Horizon bounds execution length; branches that have not completed by
+	// the horizon are counted as incomplete.
+	Horizon int
+	// MaxBranches caps the total number of explored branches; the search
+	// returns ErrBudgetExceeded beyond it.
+	MaxBranches int
+	// MaxArcsPerRound caps the number of deliverable unreliable arcs
+	// enumerated in one round (2^arcs subsets); beyond it the search fails
+	// rather than silently truncating.
+	MaxArcsPerRound int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rule == 0 {
+		c.Rule = sim.CR1
+	}
+	if c.Start == 0 {
+		c.Start = sim.SyncStart
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 32
+	}
+	if c.MaxBranches == 0 {
+		c.MaxBranches = 200000
+	}
+	if c.MaxArcsPerRound == 0 {
+		c.MaxArcsPerRound = 16
+	}
+	return c
+}
+
+// Result reports the outcome of a search.
+type Result struct {
+	// WorstRounds is the maximum completion round over all explored
+	// adversary behaviours (Horizon+1 when some behaviour prevents
+	// completion within the horizon).
+	WorstRounds int
+	// AllComplete reports whether every adversary behaviour allowed the
+	// broadcast to complete within the horizon.
+	AllComplete bool
+	// Branches counts the distinct executions explored.
+	Branches int
+	// WorstDeliveries is the per-round delivery script of a worst execution
+	// (round r at index r-1; each entry lists delivered unreliable arcs).
+	WorstDeliveries [][]Arc
+}
+
+// Arc is a directed unreliable edge scheduled by the adversary.
+type Arc struct {
+	From, To graph.NodeID
+}
+
+// Errors returned by Search.
+var (
+	ErrBudgetExceeded = errors.New("exhaustive search exceeded its branch budget")
+	ErrTooManyArcs    = errors.New("too many deliverable unreliable arcs in one round")
+)
+
+// Search explores all adversary delivery behaviours for alg on d and
+// returns the worst case. The proc assignment is the identity.
+func Search(d *graph.Dual, alg sim.Algorithm, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	s := &searcher{d: d, alg: alg, cfg: cfg}
+	res := &Result{AllComplete: true}
+	if err := s.explore(nil, res); err != nil {
+		return nil, err
+	}
+	res.Branches = s.branches
+	return res, nil
+}
+
+type searcher struct {
+	d        *graph.Dual
+	alg      sim.Algorithm
+	cfg      Config
+	branches int
+}
+
+// scriptedAdversary replays a fixed delivery script; rounds beyond the
+// script deliver nothing.
+type scriptedAdversary struct {
+	script [][]Arc
+}
+
+var _ sim.Adversary = (*scriptedAdversary)(nil)
+
+func (scriptedAdversary) Name() string { return "scripted" }
+
+func (scriptedAdversary) AssignProcs(d *graph.Dual, _ *rand.Rand) ([]int, error) {
+	procOf := make([]int, d.N())
+	for i := range procOf {
+		procOf[i] = i + 1
+	}
+	return procOf, nil
+}
+
+func (a *scriptedAdversary) Deliver(v *sim.View, _ []graph.NodeID) map[graph.NodeID][]graph.NodeID {
+	if v.Round > len(a.script) {
+		return nil
+	}
+	out := make(map[graph.NodeID][]graph.NodeID)
+	for _, arc := range a.script[v.Round-1] {
+		out[arc.From] = append(out[arc.From], arc.To)
+	}
+	return out
+}
+
+func (a *scriptedAdversary) Resolve(_ *sim.View, _ graph.NodeID, _ []graph.NodeID) graph.NodeID {
+	return sim.NoDelivery
+}
+
+// replay runs the algorithm under the given script for exactly `rounds`
+// rounds and returns the transcript.
+func (s *searcher) replay(script [][]Arc, rounds int) (*sim.Result, error) {
+	return sim.Run(s.d, s.alg, &scriptedAdversary{script: script}, sim.Config{
+		Rule:           s.cfg.Rule,
+		Start:          s.cfg.Start,
+		MaxRounds:      rounds,
+		Seed:           0,
+		RecordSenders:  true,
+		RunToMaxRounds: true,
+	})
+}
+
+// explore extends the script by one round in every inequivalent way.
+func (s *searcher) explore(script [][]Arc, res *Result) error {
+	s.branches++
+	if s.branches > s.cfg.MaxBranches {
+		return ErrBudgetExceeded
+	}
+	depth := len(script)
+
+	// Replay the prefix plus one round with no deliveries to learn the
+	// senders of round depth+1 and the holder set entering it.
+	run, err := s.replay(script, depth+1)
+	if err != nil {
+		return err
+	}
+
+	// Completion within the prefix ends this branch.
+	completionRound, complete := completionOf(run, depth)
+	if complete {
+		if completionRound > res.WorstRounds {
+			res.WorstRounds = completionRound
+			res.WorstDeliveries = cloneScript(script)
+		}
+		return nil
+	}
+	if depth >= s.cfg.Horizon {
+		res.AllComplete = false
+		if s.cfg.Horizon+1 > res.WorstRounds {
+			res.WorstRounds = s.cfg.Horizon + 1
+			res.WorstDeliveries = cloneScript(script)
+		}
+		return nil
+	}
+
+	senders := sendersAsNodes(run, depth+1)
+	arcs := s.deliverableArcs(senders)
+	if len(arcs) > s.cfg.MaxArcsPerRound {
+		return fmt.Errorf("%w: %d arcs at round %d (cap %d)", ErrTooManyArcs, len(arcs), depth+1, s.cfg.MaxArcsPerRound)
+	}
+
+	holders := holdersEntering(run, depth)
+	seen := map[string]bool{}
+	for mask := 0; mask < 1<<len(arcs); mask++ {
+		choice := make([]Arc, 0, len(arcs))
+		for i, arc := range arcs {
+			if mask&(1<<i) != 0 {
+				choice = append(choice, arc)
+			}
+		}
+		sig := s.receptionSignature(senders, choice, holders)
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		next := append(cloneScript(script), choice)
+		if err := s.explore(next, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// completionOf returns the completion round if all nodes received the
+// message within the first `rounds` rounds of the replay.
+func completionOf(run *sim.Result, rounds int) (int, bool) {
+	maxRecv := 0
+	for _, r := range run.FirstReceive {
+		if r < 0 || r > rounds {
+			return 0, false
+		}
+		if r > maxRecv {
+			maxRecv = r
+		}
+	}
+	return maxRecv, true
+}
+
+// sendersAsNodes converts the recorded sender pids of the given round back
+// to nodes (identity assignment).
+func sendersAsNodes(run *sim.Result, round int) []graph.NodeID {
+	if round > len(run.SendersByRound) {
+		return nil
+	}
+	pids := run.SendersByRound[round-1]
+	nodes := make([]graph.NodeID, len(pids))
+	for i, pid := range pids {
+		nodes[i] = graph.NodeID(pid - 1)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return nodes
+}
+
+// holdersEntering reports which nodes hold the message at the start of round
+// `rounds`+1.
+func holdersEntering(run *sim.Result, rounds int) []bool {
+	holders := make([]bool, len(run.FirstReceive))
+	for node, r := range run.FirstReceive {
+		holders[node] = r >= 0 && r <= rounds
+	}
+	return holders
+}
+
+// deliverableArcs lists the unreliable arcs available to the senders, in a
+// deterministic order.
+func (s *searcher) deliverableArcs(senders []graph.NodeID) []Arc {
+	var arcs []Arc
+	for _, snd := range senders {
+		for _, t := range s.d.UnreliableOut(snd) {
+			arcs = append(arcs, Arc{From: snd, To: t})
+		}
+	}
+	return arcs
+}
+
+// receptionSignature summarizes the observable outcome of a delivery choice:
+// per node, the reception kind and (for deliveries) the sending node and its
+// holder status. Choices with equal signatures lead to identical algorithm
+// states and need exploring only once.
+func (s *searcher) receptionSignature(senders []graph.NodeID, choice []Arc, holders []bool) string {
+	n := s.d.N()
+	reaching := make([][]graph.NodeID, n)
+	isSender := make([]bool, n)
+	for _, snd := range senders {
+		isSender[snd] = true
+		reaching[snd] = append(reaching[snd], snd)
+		for _, v := range s.d.ReliableOut(snd) {
+			reaching[v] = append(reaching[v], snd)
+		}
+	}
+	for _, arc := range choice {
+		reaching[arc.To] = append(reaching[arc.To], arc.From)
+	}
+	sig := make([]byte, 0, 2*n)
+	for node := 0; node < n; node++ {
+		sig = append(sig, s.receptionByte(graph.NodeID(node), isSender[node], reaching[node], holders)...)
+	}
+	return string(sig)
+}
+
+func (s *searcher) receptionByte(node graph.NodeID, isSender bool, reaching []graph.NodeID, holders []bool) []byte {
+	const (
+		silence   = 0xFE
+		collision = 0xFF
+	)
+	delivered := func(from graph.NodeID) []byte {
+		b := byte(0)
+		if holders[from] {
+			b = 1
+		}
+		return []byte{byte(from), b}
+	}
+	switch s.cfg.Rule {
+	case sim.CR1:
+		switch len(reaching) {
+		case 0:
+			return []byte{silence, 0}
+		case 1:
+			return delivered(reaching[0])
+		default:
+			return []byte{collision, 0}
+		}
+	default: // CR2, CR3, CR4(silence)
+		if isSender {
+			return delivered(node)
+		}
+		switch len(reaching) {
+		case 0:
+			return []byte{silence, 0}
+		case 1:
+			return delivered(reaching[0])
+		}
+		if s.cfg.Rule == sim.CR2 {
+			return []byte{collision, 0}
+		}
+		return []byte{silence, 0}
+	}
+}
+
+func cloneScript(script [][]Arc) [][]Arc {
+	out := make([][]Arc, len(script))
+	for i, round := range script {
+		out[i] = append([]Arc(nil), round...)
+	}
+	return out
+}

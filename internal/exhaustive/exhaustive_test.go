@@ -1,0 +1,193 @@
+package exhaustive
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dualgraph/internal/adversary"
+	"dualgraph/internal/core"
+	"dualgraph/internal/graph"
+	"dualgraph/internal/sim"
+)
+
+// tinyBridge returns the 5-node clique-bridge network, small enough for
+// exhaustive search.
+func tinyBridge(t *testing.T) *graph.Dual {
+	t.Helper()
+	d, err := graph.CliqueBridge(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSearchClassicalNetworkHasSingleBranch(t *testing.T) {
+	// No unreliable edges: the adversary has no choices, so exactly the
+	// branches along one execution are explored.
+	d, err := graph.Line(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Search(d, core.NewRoundRobin(), Config{Rule: sim.CR3, Horizon: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllComplete {
+		t.Fatal("round robin must complete on a line under every (trivial) adversary")
+	}
+	if res.WorstRounds != 3 {
+		t.Fatalf("worst rounds = %d, want 3", res.WorstRounds)
+	}
+	if res.Branches != 4 {
+		t.Fatalf("branches = %d, want 4 (one per prefix length)", res.Branches)
+	}
+}
+
+func TestSearchWorstCaseAtLeastHeuristicAdversary(t *testing.T) {
+	// The exhaustive worst case must dominate what the greedy heuristic
+	// adversary achieves on the same network.
+	d := tinyBridge(t)
+	alg := core.NewRoundRobin()
+
+	heuristic, err := sim.Run(d, alg, adversary.GreedyCollider{}, sim.Config{
+		Rule:  sim.CR1,
+		Start: sim.SyncStart,
+		Seed:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !heuristic.Completed {
+		t.Fatal("heuristic run must complete")
+	}
+
+	res, err := Search(d, alg, Config{Rule: sim.CR1, Horizon: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllComplete {
+		t.Fatal("round robin completes under every adversary behaviour")
+	}
+	if res.WorstRounds < heuristic.Rounds {
+		t.Fatalf("exhaustive worst %d below heuristic adversary %d", res.WorstRounds, heuristic.Rounds)
+	}
+}
+
+func TestSearchMatchesTheorem2OnTinyNetwork(t *testing.T) {
+	// For round robin on clique-bridge, the Theorem 2 adversary's best
+	// bridge is pid n-1 forcing n-1 rounds; the exhaustive search fixes the
+	// identity assignment (bridge pid 2), under which the receiver gets the
+	// message when process 2 transmits alone — round 2 at the earliest. The
+	// worst case over deliveries must be at least that.
+	d := tinyBridge(t)
+	res, err := Search(d, core.NewRoundRobin(), Config{Rule: sim.CR1, Horizon: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WorstRounds < 2 {
+		t.Fatalf("worst rounds = %d, want >= 2", res.WorstRounds)
+	}
+}
+
+func TestSearchStrongSelectAllBehavioursComplete(t *testing.T) {
+	d := tinyBridge(t)
+	alg, err := core.NewStrongSelect(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Search(d, alg, Config{Rule: sim.CR1, Horizon: 60, MaxBranches: 500000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllComplete {
+		t.Fatal("strong select must complete under every adversary behaviour within the horizon")
+	}
+	if res.WorstRounds < 2 {
+		t.Fatalf("unexpectedly fast worst case: %d", res.WorstRounds)
+	}
+}
+
+func TestSearchWorstScriptReplays(t *testing.T) {
+	// The returned worst delivery script, replayed, must reproduce the
+	// reported completion round.
+	d := tinyBridge(t)
+	alg := core.NewRoundRobin()
+	res, err := Search(d, alg, Config{Rule: sim.CR1, Horizon: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sim.Run(d, alg, &scriptedAdversary{script: res.WorstDeliveries}, sim.Config{
+		Rule:      sim.CR1,
+		Start:     sim.SyncStart,
+		MaxRounds: 30,
+		Seed:      0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Completed || run.Rounds != res.WorstRounds {
+		t.Fatalf("replay gave (%v, %d), want (true, %d)", run.Completed, run.Rounds, res.WorstRounds)
+	}
+}
+
+func TestSearchBudgetExceeded(t *testing.T) {
+	d := tinyBridge(t)
+	_, err := Search(d, core.NewRoundRobin(), Config{Rule: sim.CR1, Horizon: 30, MaxBranches: 2})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+}
+
+func TestSearchTooManyArcs(t *testing.T) {
+	// An 8-node clique-bridge has 7 unreliable arcs from clique nodes when
+	// several transmit; cap at 1 to trigger the error. Use a spontaneous
+	// algorithm so two clique nodes send together early.
+	d, err := graph.CliqueBridge(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Search(d, core.NewRoundRobin(), Config{Rule: sim.CR1, Horizon: 10, MaxArcsPerRound: 0})
+	// MaxArcsPerRound 0 defaults to 16, so force a tiny cap instead:
+	_, err = Search(d, core.NewRoundRobin(), Config{Rule: sim.CR1, Horizon: 10, MaxArcsPerRound: 1})
+	if err == nil {
+		// Round robin has single senders: source (node 0) has one
+		// unreliable arc (to the receiver). A single arc never exceeds cap
+		// 1, so no error is acceptable here; tighten with a chattier
+		// algorithm below.
+		t.Log("single-sender algorithm stayed under the cap; checking multi-sender")
+	}
+	_, err = Search(d, chatty{}, Config{Rule: sim.CR1, Horizon: 4, MaxArcsPerRound: 1})
+	if !errors.Is(err, ErrTooManyArcs) {
+		t.Fatalf("want ErrTooManyArcs, got %v", err)
+	}
+}
+
+// chatty transmits every round from every process (even without the
+// message), maximizing the deliverable arc count.
+type chatty struct{}
+
+func (chatty) Name() string { return "chatty" }
+
+func (chatty) NewProcess(id, n int, _ *rand.Rand) sim.Process { return chattyProc{} }
+
+type chattyProc struct{}
+
+func (chattyProc) Start(int, bool)            {}
+func (chattyProc) Decide(int) bool            { return true }
+func (chattyProc) Receive(int, sim.Reception) {}
+
+func TestSearchSignatureDeduplication(t *testing.T) {
+	// On the 5-node bridge network with a single sender owning one
+	// unreliable arc there are 2 raw choices per round but they differ in
+	// signature, while rounds without senders have exactly one choice: the
+	// branch count must stay far below the raw 2^arcs * rounds explosion.
+	d := tinyBridge(t)
+	res, err := Search(d, core.NewRoundRobin(), Config{Rule: sim.CR1, Horizon: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Branches > 4000 {
+		t.Fatalf("deduplication ineffective: %d branches", res.Branches)
+	}
+}

@@ -1,0 +1,191 @@
+// Package expt is the experiment harness: it regenerates, as measured
+// scaling experiments, every table of the paper plus per-theorem validation
+// figures and ablations. Each experiment has a stable ID used by
+// cmd/dgbench and by the benchmark suite; DESIGN.md carries the full
+// experiment index.
+package expt
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"text/tabwriter"
+
+	"dualgraph/internal/adversary"
+	"dualgraph/internal/core"
+	"dualgraph/internal/graph"
+	"dualgraph/internal/sim"
+	"dualgraph/internal/stats"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Out receives the experiment's table.
+	Out io.Writer
+	// Quick trims sweeps and trial counts for CI-speed runs.
+	Quick bool
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Experiment is one reproducible experiment.
+type Experiment struct {
+	// ID is the stable identifier (e.g. "table1-dual-strongselect").
+	ID string
+	// Title is a one-line description.
+	Title string
+	// PaperRef points at the table/theorem the experiment reproduces.
+	PaperRef string
+	// Run executes the experiment and writes its table to cfg.Out.
+	Run func(cfg Config) error
+}
+
+// All returns every registered experiment in a stable order.
+func All() []Experiment {
+	exps := []Experiment{
+		table1ClassicalRR(),
+		table1DualStrongSelect(),
+		table1Theorem2(),
+		table1Theorem12(),
+		table2ClassicalDecay(),
+		table2DualHarmonic(),
+		table2Theorem4(),
+		figSeparation(),
+		figBusyRounds(),
+		figSSFSize(),
+		figLemma1(),
+		ablCollisionRules(),
+		ablHarmonicT(),
+		ablAdversary(),
+		extDeltaSelect(),
+		extRepeatedBroadcast(),
+		extLinkCulling(),
+		extBroadcastability(),
+		extExhaustive(),
+	}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
+	return exps
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// newTable returns a tabwriter for aligned experiment output.
+func newTable(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// header prints the experiment banner.
+func header(w io.Writer, e Experiment) {
+	fmt.Fprintf(w, "== %s — %s\n   paper: %s\n", e.ID, e.Title, e.PaperRef)
+}
+
+// medianRounds runs `trials` independent executions and returns the median
+// and maximum completion round. Executions that do not complete count as
+// maxRounds.
+func medianRounds(
+	d *graph.Dual,
+	alg sim.Algorithm,
+	adv sim.Adversary,
+	cfg sim.Config,
+	trials int,
+) (median, maxRound float64, completed int, err error) {
+	rounds := make([]float64, 0, trials)
+	for i := 0; i < trials; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*104729
+		res, err := sim.Run(d, alg, adv, c)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		r := float64(res.Rounds)
+		if !res.Completed {
+			r = float64(c.MaxRounds)
+		} else {
+			completed++
+		}
+		rounds = append(rounds, r)
+	}
+	median, err = stats.Median(rounds)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	maxRound, err = stats.Max(rounds)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return median, maxRound, completed, nil
+}
+
+// sweepSizes returns the n sweep for scaling experiments.
+func sweepSizes(quick bool) []int {
+	if quick {
+		return []int{17, 33, 65}
+	}
+	return []int{17, 33, 65, 129, 257}
+}
+
+// fitLine reports the fitted power-law exponent of rounds vs n, or NaN-free
+// fallback text when the fit fails.
+func fitLine(ns []int, rounds []float64) string {
+	xs := make([]float64, len(ns))
+	for i, n := range ns {
+		xs[i] = float64(n)
+	}
+	alpha, c, err := stats.FitPowerLaw(xs, rounds)
+	if err != nil {
+		return "fit: n/a"
+	}
+	return fmt.Sprintf("fit: rounds ≈ %.2f·n^%.2f", c, alpha)
+}
+
+// dualTopology builds the named dual-graph topology at size n.
+func dualTopology(name string, n int, seed int64) (*graph.Dual, error) {
+	switch name {
+	case "clique-bridge":
+		return graph.CliqueBridge(n)
+	case "complete-layered":
+		return graph.CompleteLayered(oddify(n))
+	case "random":
+		return graph.RandomDual(n, 0.12, 0.35, newRng(seed))
+	case "geometric":
+		return graph.Geometric(n, 0.28, 0.7, newRng(seed))
+	case "line":
+		return graph.Line(n)
+	case "complete":
+		return graph.Complete(n)
+	case "tree":
+		return graph.BinaryTree(n)
+	}
+	return nil, fmt.Errorf("unknown topology %q", name)
+}
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func oddify(n int) int {
+	if n%2 == 0 {
+		return n + 1
+	}
+	return n
+}
+
+// greedy returns the standard worst-case-ish adversary used in the dual
+// experiments.
+func greedy() sim.Adversary { return adversary.GreedyCollider{} }
+
+// benign returns the classical-model adversary.
+func benign() sim.Adversary { return adversary.Benign{} }
+
+// mustHarmonic builds the Harmonic algorithm with the paper's T or fails the
+// experiment.
+func mustHarmonic(n int) (sim.Algorithm, error) {
+	return core.NewHarmonicForN(n, 0.02)
+}

@@ -1,0 +1,91 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryIDsUniqueAndSorted(t *testing.T) {
+	exps := All()
+	if len(exps) < 10 {
+		t.Fatalf("expected at least 10 experiments, got %d", len(exps))
+	}
+	seen := map[string]bool{}
+	prev := ""
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.PaperRef == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.ID < prev {
+			t.Errorf("experiments not sorted: %q after %q", e.ID, prev)
+		}
+		prev = e.ID
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("table1-thm2"); !ok {
+		t.Fatal("table1-thm2 must exist")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown id must not resolve")
+	}
+}
+
+// TestAllExperimentsRunQuick executes every experiment in quick mode; this
+// doubles as the integration test of the whole stack (the experiments return
+// errors when a paper bound is violated).
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	for _, e := range All() {
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(Config{Out: &buf, Quick: true, Seed: 11}); err != nil {
+				t.Fatalf("experiment failed: %v\noutput so far:\n%s", err, buf.String())
+			}
+			out := buf.String()
+			if !strings.Contains(out, e.ID) {
+				t.Errorf("output missing banner: %q", out[:minInt(len(out), 80)])
+			}
+			if len(strings.Split(out, "\n")) < 4 {
+				t.Errorf("suspiciously short output:\n%s", out)
+			}
+		})
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestDualTopologyUnknown(t *testing.T) {
+	if _, err := dualTopology("bogus", 10, 1); err == nil {
+		t.Fatal("expected error for unknown topology")
+	}
+}
+
+func TestOddify(t *testing.T) {
+	if oddify(8) != 9 || oddify(9) != 9 {
+		t.Fatal("oddify wrong")
+	}
+}
+
+func TestFitLine(t *testing.T) {
+	got := fitLine([]int{2, 4, 8}, []float64{4, 16, 64})
+	if !strings.Contains(got, "n^2.00") {
+		t.Errorf("fitLine = %q, want quadratic fit", got)
+	}
+	if fitLine([]int{1}, []float64{1}) != "fit: n/a" {
+		t.Error("single-point fit must degrade to n/a")
+	}
+}

@@ -1,0 +1,324 @@
+package expt
+
+import (
+	"fmt"
+
+	"dualgraph/internal/adversary"
+	"dualgraph/internal/core"
+	"dualgraph/internal/exhaustive"
+	"dualgraph/internal/graph"
+	"dualgraph/internal/linkest"
+	"dualgraph/internal/lowerbound"
+	"dualgraph/internal/repeat"
+	"dualgraph/internal/schedule"
+	"dualgraph/internal/sim"
+	"dualgraph/internal/stats"
+)
+
+// extDeltaSelect reproduces the Section 2.2 comparison with the
+// Clementi-Monti-Silvestri algorithm: knowing the interference in-degree Δ
+// beats Strong Select when Δ is small, and degenerates when Δ is large.
+func extDeltaSelect() Experiment {
+	e := Experiment{
+		ID:       "ext-delta-select",
+		Title:    "Δ-aware oblivious baseline vs Strong Select (Clementi et al. comparison)",
+		PaperRef: "Section 2.2, discussion of [11]: faster iff Δ = o(√(n/log n)), needs Δ",
+	}
+	e.Run = func(cfg Config) error {
+		header(cfg.Out, e)
+		tw := newTable(cfg.Out)
+		fmt.Fprintln(tw, "topology\tn\tΔ(G')\tdelta-select rounds\tstrong-select rounds\twinner")
+		for _, topo := range []string{"line", "geometric", "clique-bridge"} {
+			for _, n := range sweepSizes(cfg.Quick)[:2] {
+				d, err := dualTopology(topo, n, cfg.Seed)
+				if err != nil {
+					return err
+				}
+				nn := d.N()
+				delta := d.GPrime().MaxInDegree()
+				ds, err := core.NewDeltaSelect(nn, delta)
+				if err != nil {
+					return err
+				}
+				ss, err := core.NewStrongSelect(nn)
+				if err != nil {
+					return err
+				}
+				budget := nn*ds.FamilySize() + strongSelectBudget(nn)
+				run := func(alg sim.Algorithm) (int, error) {
+					res, err := sim.Run(d, alg, greedy(), sim.Config{
+						Rule:      sim.CR4,
+						Start:     sim.AsyncStart,
+						MaxRounds: budget,
+						Seed:      cfg.Seed,
+					})
+					if err != nil {
+						return 0, err
+					}
+					if !res.Completed {
+						return budget, nil
+					}
+					return res.Rounds, nil
+				}
+				dsRounds, err := run(ds)
+				if err != nil {
+					return err
+				}
+				ssRounds, err := run(ss)
+				if err != nil {
+					return err
+				}
+				winner := "delta-select"
+				if ssRounds < dsRounds {
+					winner = "strong-select"
+				}
+				fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%s\n", topo, nn, delta, dsRounds, ssRounds, winner)
+			}
+		}
+		return tw.Flush()
+	}
+	return e
+}
+
+// extRepeatedBroadcast measures the Section 8 future-work extension:
+// throughput of sequential vs pipelined repeated broadcast.
+func extRepeatedBroadcast() Experiment {
+	e := Experiment{
+		ID:       "ext-repeated-broadcast",
+		Title:    "repeated broadcast: sequential vs pipelined throughput",
+		PaperRef: "Section 8 (future work: repeated broadcast in dual graphs)",
+	}
+	e.Run = func(cfg Config) error {
+		header(cfg.Out, e)
+		tw := newTable(cfg.Out)
+		n, m := 16, 8
+		if cfg.Quick {
+			m = 4
+		}
+		d, err := graph.CliqueBridge(n)
+		if err != nil {
+			return err
+		}
+		budget := 3 * n
+		seq, err := repeat.NewSequential(budget, false, 0)
+		if err != nil {
+			return err
+		}
+		pipe, err := repeat.NewPipelined(false, 0)
+		if err != nil {
+			return err
+		}
+		T := core.HarmonicT(n, 0.1)
+		// The per-message budget must cover the Theorem 18 w.h.p. bound:
+		// a message that misses its block can never be delivered later.
+		harmonicBudget := int(2 * float64(n*T) * stats.HarmonicNumber(n))
+		seqH, err := repeat.NewSequential(harmonicBudget, true, T)
+		if err != nil {
+			return err
+		}
+		pipeH, err := repeat.NewPipelined(true, T)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(tw, "protocol\tmessages\trounds\tthroughput (msg/round)\ttransmissions")
+		for _, p := range []repeat.Protocol{seq, pipe, seqH, pipeH} {
+			res, err := repeat.Run(d, p, repeat.Config{
+				Messages:  m,
+				MaxRounds: 2 * m * harmonicBudget,
+				Seed:      cfg.Seed,
+				Adversary: repeat.Greedy,
+			})
+			if err != nil {
+				return err
+			}
+			if !res.Completed {
+				return fmt.Errorf("%s did not complete", p.Name())
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%.4f\t%d\n", p.Name(), m, res.Rounds, res.Throughput, res.Transmissions)
+		}
+		return tw.Flush()
+	}
+	return e
+}
+
+// extLinkCulling is the probe-then-betray experiment motivating the model:
+// ETX-style culling admits links that behave during probing, and protocols
+// that trust the culled topology break when those links turn adversarial.
+func extLinkCulling() Experiment {
+	e := Experiment{
+		ID:       "ext-link-culling",
+		Title:    "ETX-style culling vs worst-case links (probe, cull, betray)",
+		PaperRef: "Section 1 (gray zones, ETX [13]); the model's motivation",
+	}
+	e.Run = func(cfg Config) error {
+		header(cfg.Out, e)
+		tw := newTable(cfg.Out)
+		// Fixed geometric deployment: a sparse reliable backbone under a
+		// dense gray zone, the regime where trusting culled links hurts.
+		d, err := graph.Geometric(30, 0.18, 0.8, newRng(9))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(tw, "probe delivery\tfalse positives\tprecision\ttreecast after betrayal\tstrong-select after betrayal")
+		for _, probeP := range []float64{0.0, 0.5, 0.95} {
+			s, err := linkest.Probe(d, probeP, 200, 0.75, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			culled, err := s.CulledDual()
+			if err != nil {
+				return err
+			}
+			tc, err := core.NewTreeCast(culled.G(), culled.Source())
+			if err != nil {
+				return err
+			}
+			resTree, err := sim.Run(d, tc, adversary.Benign{}, sim.Config{
+				Rule: sim.CR4, Start: sim.AsyncStart, MaxRounds: 4 * d.N(), Seed: cfg.Seed,
+			})
+			if err != nil {
+				return err
+			}
+			ss, err := core.NewStrongSelect(d.N())
+			if err != nil {
+				return err
+			}
+			resSS, err := sim.Run(d, ss, adversary.Benign{}, sim.Config{
+				Rule: sim.CR4, Start: sim.AsyncStart, MaxRounds: strongSelectBudget(d.N()), Seed: cfg.Seed,
+			})
+			if err != nil {
+				return err
+			}
+			if !resSS.Completed {
+				return fmt.Errorf("strong select must survive the betrayal")
+			}
+			fmt.Fprintf(tw, "%.2f\t%d\t%.2f\t%s\t%s\n",
+				probeP, s.FalsePositives, s.Precision(), verdict(resTree), verdict(resSS))
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintln(cfg.Out, "   (betrayal: unreliable links deliver during probing, never afterwards)")
+		return nil
+	}
+	return e
+}
+
+func verdict(res *sim.Result) string {
+	if res.Completed {
+		return fmt.Sprintf("ok (%d rounds)", res.Rounds)
+	}
+	return "STRANDED"
+}
+
+// extBroadcastability measures k-broadcastability (Section 3): the
+// omniscient-schedule optimum against the rounds the algorithms actually
+// need, quantifying the price of not knowing the topology.
+func extBroadcastability() Experiment {
+	e := Experiment{
+		ID:       "ext-broadcastability",
+		Title:    "k-broadcastability: omniscient schedules vs oblivious algorithms",
+		PaperRef: "Section 3 (k-broadcastable networks); Theorem 2 witness",
+	}
+	e.Run = func(cfg Config) error {
+		header(cfg.Out, e)
+		tw := newTable(cfg.Out)
+		fmt.Fprintln(tw, "topology\tn\texact k\tgreedy k\teccentricity\tstrong-select rounds\tgap")
+		for _, topo := range []string{"clique-bridge", "line", "complete-layered", "random"} {
+			d, err := dualTopology(topo, 17, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			exact, err := schedule.Exact(d)
+			if err != nil {
+				return err
+			}
+			greedyS, err := schedule.Greedy(d)
+			if err != nil {
+				return err
+			}
+			ss, err := core.NewStrongSelect(d.N())
+			if err != nil {
+				return err
+			}
+			res, err := sim.Run(d, ss, greedy(), sim.Config{
+				Rule: sim.CR4, Start: sim.AsyncStart, MaxRounds: strongSelectBudget(d.N()), Seed: cfg.Seed,
+			})
+			if err != nil {
+				return err
+			}
+			if !res.Completed {
+				return fmt.Errorf("%s: strong select incomplete", topo)
+			}
+			if exact.Rounds() > greedyS.Rounds() {
+				return fmt.Errorf("%s: exact schedule longer than greedy", topo)
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%.1fx\n",
+				topo, d.N(), exact.Rounds(), greedyS.Rounds(), d.Eccentricity(),
+				res.Rounds, float64(res.Rounds)/float64(exact.Rounds()))
+		}
+		return tw.Flush()
+	}
+	return e
+}
+
+// extExhaustive validates the heuristic adversaries against the true worst
+// case found by exhaustive search on tiny networks, and cross-checks the
+// Theorem 2 game.
+func extExhaustive() Experiment {
+	e := Experiment{
+		ID:       "ext-exhaustive",
+		Title:    "exhaustive worst-case adversary search on tiny networks",
+		PaperRef: "Section 2.1 adversary semantics (universally quantified choices)",
+	}
+	e.Run = func(cfg Config) error {
+		header(cfg.Out, e)
+		tw := newTable(cfg.Out)
+		fmt.Fprintln(tw, "n\talgorithm\texhaustive worst\tgreedy heuristic\tthm2 game\tbranches")
+		for _, n := range []int{4, 5, 6} {
+			d, err := graph.CliqueBridge(n)
+			if err != nil {
+				return err
+			}
+			algs := []sim.Algorithm{core.NewRoundRobin()}
+			if !cfg.Quick {
+				ss, err := core.NewStrongSelect(n)
+				if err != nil {
+					return err
+				}
+				algs = append(algs, ss)
+			}
+			for _, alg := range algs {
+				search, err := exhaustive.Search(d, alg, exhaustive.Config{
+					Rule:    sim.CR1,
+					Horizon: 40 * n,
+				})
+				if err != nil {
+					return err
+				}
+				heuristic, err := sim.Run(d, alg, adversary.GreedyCollider{}, sim.Config{
+					Rule: sim.CR1, Start: sim.SyncStart, Seed: cfg.Seed,
+				})
+				if err != nil {
+					return err
+				}
+				game, err := lowerbound.RunTheorem2Game(n, alg, 0)
+				if err != nil {
+					return err
+				}
+				if search.WorstRounds < heuristic.Rounds {
+					return fmt.Errorf("exhaustive worst below heuristic for %s n=%d", alg.Name(), n)
+				}
+				fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%d\n",
+					n, alg.Name(), search.WorstRounds, heuristic.Rounds, game.ForcedRounds, search.Branches)
+			}
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintln(cfg.Out, "   (thm2 game additionally optimizes the bridge assignment, so it can exceed")
+		fmt.Fprintln(cfg.Out, "    the identity-assignment exhaustive bound)")
+		return nil
+	}
+	return e
+}

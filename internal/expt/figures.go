@@ -1,0 +1,225 @@
+package expt
+
+import (
+	"fmt"
+	"reflect"
+
+	"dualgraph/internal/core"
+	"dualgraph/internal/graph"
+	"dualgraph/internal/interference"
+	"dualgraph/internal/sim"
+	"dualgraph/internal/ssf"
+	"dualgraph/internal/stats"
+)
+
+// figSeparation measures the Section 1 separation claim: the same algorithm
+// on the same topology, classical (benign adversary and G = G') versus dual
+// (worst-case unreliable edges), and the crossover between Strong Select and
+// Harmonic.
+func figSeparation() Experiment {
+	e := Experiment{
+		ID:       "fig-separation",
+		Title:    "classical vs dual separation and algorithm crossover",
+		PaperRef: "Section 1 (separation); Tables 1-2 side by side",
+	}
+	e.Run = func(cfg Config) error {
+		header(cfg.Out, e)
+		tw := newTable(cfg.Out)
+		fmt.Fprintln(tw, "n\talgorithm\tclassical rounds\tdual rounds\tdual/classical")
+		for _, n := range sweepSizes(cfg.Quick) {
+			dual, err := dualTopology("clique-bridge", n, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			classical, err := graph.Classical(dual.G(), dual.Source())
+			if err != nil {
+				return err
+			}
+			ss, err := core.NewStrongSelect(n)
+			if err != nil {
+				return err
+			}
+			h, err := mustHarmonic(n)
+			if err != nil {
+				return err
+			}
+			for _, alg := range []sim.Algorithm{core.NewRoundRobin(), ss, h} {
+				budget := strongSelectBudget(n) * 4
+				resC, err := sim.Run(classical, alg, benign(), sim.Config{
+					Rule: sim.CR4, Start: sim.AsyncStart, MaxRounds: budget, Seed: cfg.Seed,
+				})
+				if err != nil {
+					return err
+				}
+				resD, err := sim.Run(dual, alg, greedy(), sim.Config{
+					Rule: sim.CR4, Start: sim.AsyncStart, MaxRounds: budget, Seed: cfg.Seed,
+				})
+				if err != nil {
+					return err
+				}
+				ratio := float64(resD.Rounds) / float64(maxI(resC.Rounds, 1))
+				fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%.2f\n", n, alg.Name(), resC.Rounds, resD.Rounds, ratio)
+			}
+		}
+		return tw.Flush()
+	}
+	return e
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// figBusyRounds validates Lemma 15: for any wake-up pattern the number of
+// busy rounds (sum of transmission probabilities >= 1) is at most n·T·H(n).
+func figBusyRounds() Experiment {
+	e := Experiment{
+		ID:       "fig-busy-rounds",
+		Title:    "Lemma 15: busy rounds vs the n·T·H(n) bound",
+		PaperRef: "Section 7, Lemmas 14-15",
+	}
+	e.Run = func(cfg Config) error {
+		header(cfg.Out, e)
+		tw := newTable(cfg.Out)
+		T := 4
+		fmt.Fprintln(tw, "pattern\tn\tbusy rounds\tbound n·T·H(n)\tbusy/bound")
+		ns := []int{16, 32, 64}
+		if !cfg.Quick {
+			ns = append(ns, 128, 256)
+		}
+		for _, n := range ns {
+			for _, p := range []struct {
+				name    string
+				pattern []int
+			}{
+				{"front-loaded", core.FrontLoadedPattern(n)},
+				{"simultaneous", core.SimultaneousPattern(n)},
+				{"random", randomPattern(n, cfg.Seed)},
+			} {
+				bound := float64(n*T) * stats.HarmonicNumber(n)
+				horizon := int(4*bound) + 100
+				busy := core.BusyRounds(p.pattern, T, horizon)
+				if float64(busy) > bound {
+					return fmt.Errorf("lemma 15 violated: pattern %s n=%d busy=%d bound=%.0f", p.name, n, busy, bound)
+				}
+				fmt.Fprintf(tw, "%s\t%d\t%d\t%.0f\t%.3f\n", p.name, n, busy, bound, float64(busy)/bound)
+			}
+		}
+		return tw.Flush()
+	}
+	return e
+}
+
+func randomPattern(n int, seed int64) []int {
+	rng := newRng(seed)
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		p[i] = p[i-1] + rng.Intn(4)
+	}
+	return p
+}
+
+// figSSFSize measures the constructive Kautz-Singleton SSF sizes against the
+// k² log² n bound and against the trivial round robin.
+func figSSFSize() Experiment {
+	e := Experiment{
+		ID:       "fig-ssf-size",
+		Title:    "strongly selective family sizes: Kautz-Singleton vs round robin",
+		PaperRef: "Section 5, Definition 6, Theorem 7, constructive note [19]",
+	}
+	e.Run = func(cfg Config) error {
+		header(cfg.Out, e)
+		tw := newTable(cfg.Out)
+		fmt.Fprintln(tw, "n\tk\tchosen size\tround robin\tkautz-singleton\tverified")
+		ns := []int{64, 256, 1024}
+		if !cfg.Quick {
+			ns = append(ns, 4096, 16384)
+		}
+		for _, n := range ns {
+			for _, k := range []int{2, 4, 8, 16} {
+				if k > n {
+					continue
+				}
+				chosen, err := ssf.New(n, k)
+				if err != nil {
+					return err
+				}
+				rs, err := ssf.NewReedSolomon(n, k)
+				if err != nil {
+					return err
+				}
+				verified := "spot-check"
+				if n <= 64 && k <= 3 {
+					if err := ssf.Verify(chosen, k); err != nil {
+						return fmt.Errorf("verification failed n=%d k=%d: %w", n, k, err)
+					}
+					verified = "exhaustive"
+				} else if err := ssf.VerifyRandom(chosen, k, 100, newRng(cfg.Seed)); err != nil {
+					return fmt.Errorf("spot verification failed n=%d k=%d: %w", n, k, err)
+				}
+				fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%s\n", n, k, chosen.Size(), n, rs.Size(), verified)
+			}
+		}
+		return tw.Flush()
+	}
+	return e
+}
+
+// figLemma1 validates Lemma 1 executably: dual-graph algorithms run on
+// explicit-interference networks via the reduction adversary produce
+// transcripts identical to the native explicit-interference engine.
+func figLemma1() Experiment {
+	e := Experiment{
+		ID:       "fig-lemma1",
+		Title:    "Lemma 1 reduction: dual-graph algorithms on explicit-interference networks",
+		PaperRef: "Lemma 1; Appendix A",
+	}
+	e.Run = func(cfg Config) error {
+		header(cfg.Out, e)
+		tw := newTable(cfg.Out)
+		fmt.Fprintln(tw, "n\talgorithm\trule\tnative rounds\treduced rounds\ttranscripts equal")
+		for _, n := range []int{16, 32} {
+			d, err := dualTopology("random", n, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			m := interference.FromDual(d)
+			ss, err := core.NewStrongSelect(n)
+			if err != nil {
+				return err
+			}
+			h, err := mustHarmonic(n)
+			if err != nil {
+				return err
+			}
+			for _, alg := range []sim.Algorithm{core.NewRoundRobin(), ss, h} {
+				for _, rule := range []sim.CollisionRule{sim.CR1, sim.CR4} {
+					c := sim.Config{
+						Rule: rule, Start: sim.AsyncStart,
+						MaxRounds: strongSelectBudget(n), Seed: cfg.Seed, RecordSenders: true,
+					}
+					native, err := interference.Run(m, alg, c)
+					if err != nil {
+						return err
+					}
+					reduced, err := sim.Run(m.Dual(), alg, interference.ReductionAdversary{}, c)
+					if err != nil {
+						return err
+					}
+					equal := reflect.DeepEqual(native.SendersByRound, reduced.SendersByRound) &&
+						reflect.DeepEqual(native.FirstReceive, reduced.FirstReceive)
+					if !equal {
+						return fmt.Errorf("lemma 1 reduction mismatch: n=%d alg=%s rule=%v", n, alg.Name(), rule)
+					}
+					fmt.Fprintf(tw, "%d\t%s\t%v\t%d\t%d\t%v\n",
+						n, alg.Name(), rule, native.Rounds, reduced.Rounds, equal)
+				}
+			}
+		}
+		return tw.Flush()
+	}
+	return e
+}

@@ -1,0 +1,201 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+
+	"dualgraph/internal/core"
+	"dualgraph/internal/lowerbound"
+	"dualgraph/internal/sim"
+)
+
+// table1ClassicalRR reproduces the classical-model column of Table 1:
+// deterministic broadcast in O(n) rounds (Chlebus et al. [5]) via round
+// robin on undirected classical graphs with synchronous start.
+func table1ClassicalRR() Experiment {
+	e := Experiment{
+		ID:       "table1-classical-rr",
+		Title:    "deterministic broadcast in the classical model: round robin is O(n·D)",
+		PaperRef: "Table 1, classical column (O(n) [5], Ω(n) [21])",
+	}
+	e.Run = func(cfg Config) error {
+		header(cfg.Out, e)
+		tw := newTable(cfg.Out)
+		fmt.Fprintln(tw, "topology\tn\trounds\trounds/n")
+		for _, topo := range []string{"complete", "line", "tree"} {
+			var ns []int
+			var rounds []float64
+			for _, n := range sweepSizes(cfg.Quick) {
+				d, err := dualTopology(topo, n, cfg.Seed)
+				if err != nil {
+					return err
+				}
+				res, err := sim.Run(d, core.NewRoundRobin(), benign(), sim.Config{
+					Rule:  sim.CR3,
+					Start: sim.SyncStart,
+					Seed:  cfg.Seed,
+				})
+				if err != nil {
+					return err
+				}
+				if !res.Completed {
+					return fmt.Errorf("%s n=%d: round robin did not complete", topo, n)
+				}
+				ns = append(ns, n)
+				rounds = append(rounds, float64(res.Rounds))
+				fmt.Fprintf(tw, "%s\t%d\t%d\t%.2f\n", topo, n, res.Rounds, float64(res.Rounds)/float64(n))
+			}
+			fmt.Fprintf(tw, "%s\t\t\t%s\n", topo, fitLine(ns, rounds))
+		}
+		return tw.Flush()
+	}
+	return e
+}
+
+// table1DualStrongSelect reproduces the bold dual-graph entry of Table 1:
+// Strong Select completes in O(n^{3/2} √log n) rounds on dual graphs under
+// CR4, asynchronous start, and an adaptive adversary.
+func table1DualStrongSelect() Experiment {
+	e := Experiment{
+		ID:       "table1-dual-strongselect",
+		Title:    "Strong Select on dual graphs: O(n^{3/2} √log n) (Theorem 10)",
+		PaperRef: "Table 1, dual column (bold O(n^{3/2}√log n)); Section 5",
+	}
+	e.Run = func(cfg Config) error {
+		header(cfg.Out, e)
+		tw := newTable(cfg.Out)
+		fmt.Fprintln(tw, "topology\tn\trounds\trounds/n^1.5\tbound X")
+		for _, topo := range []string{"clique-bridge", "complete-layered", "geometric"} {
+			var ns []int
+			var rounds []float64
+			for _, n := range sweepSizes(cfg.Quick) {
+				d, err := dualTopology(topo, n, cfg.Seed)
+				if err != nil {
+					return err
+				}
+				nn := d.N()
+				alg, err := core.NewStrongSelect(nn)
+				if err != nil {
+					return err
+				}
+				bound := strongSelectBudget(nn)
+				res, err := sim.Run(d, alg, greedy(), sim.Config{
+					Rule:      sim.CR4,
+					Start:     sim.AsyncStart,
+					MaxRounds: bound,
+					Seed:      cfg.Seed,
+				})
+				if err != nil {
+					return err
+				}
+				if !res.Completed {
+					return fmt.Errorf("%s n=%d: strong select exceeded its budget %d", topo, nn, bound)
+				}
+				ns = append(ns, nn)
+				rounds = append(rounds, float64(res.Rounds))
+				norm := float64(res.Rounds) / math.Pow(float64(nn), 1.5)
+				fmt.Fprintf(tw, "%s\t%d\t%d\t%.3f\t%d\n", topo, nn, res.Rounds, norm, bound)
+			}
+			fmt.Fprintf(tw, "%s\t\t\t%s\n", topo, fitLine(ns, rounds))
+		}
+		return tw.Flush()
+	}
+	return e
+}
+
+// strongSelectBudget is a generous executable form of the Theorem 10 bound,
+// with the constructive families' extra log factor folded into the constant.
+func strongSelectBudget(n int) int {
+	nf := float64(n)
+	return int(40*nf*math.Sqrt(nf)*math.Log2(nf)) + 2000
+}
+
+// table1Theorem2 reproduces the Ω(n) lower bound for 2-broadcastable
+// networks (Theorem 2): the adversary game forces every deterministic
+// algorithm past n-3 rounds in a network broadcastable in 2 rounds.
+func table1Theorem2() Experiment {
+	e := Experiment{
+		ID:       "table1-thm2",
+		Title:    "Theorem 2 game: deterministic broadcast needs > n-3 rounds at diameter 2",
+		PaperRef: "Theorem 2; Table 1 (Ω(n) [21] vs dual-graph bold row)",
+	}
+	e.Run = func(cfg Config) error {
+		header(cfg.Out, e)
+		tw := newTable(cfg.Out)
+		fmt.Fprintln(tw, "algorithm\tn\tforced rounds\tn-3\twitness rounds")
+		sizes := []int{16, 32, 64}
+		if cfg.Quick {
+			sizes = []int{16, 32}
+		}
+		for _, n := range sizes {
+			algs := []sim.Algorithm{core.NewRoundRobin()}
+			ss, err := core.NewStrongSelect(n)
+			if err != nil {
+				return err
+			}
+			algs = append(algs, ss)
+			for _, alg := range algs {
+				res, err := lowerbound.RunTheorem2Game(n, alg, 0)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\n",
+					alg.Name(), n, res.ForcedRounds, n-3, res.WitnessRounds)
+				if res.ForcedRounds <= n-3 {
+					return fmt.Errorf("theorem 2 violated for %s at n=%d", alg.Name(), n)
+				}
+			}
+		}
+		return tw.Flush()
+	}
+	return e
+}
+
+// table1Theorem12 reproduces the Ω(n log n) undirected lower bound
+// (Theorem 12) by running the candidate-set adversary game.
+func table1Theorem12() Experiment {
+	e := Experiment{
+		ID:       "table1-thm12",
+		Title:    "Theorem 12 game: Ω(n log n) forced rounds on the complete layered network",
+		PaperRef: "Theorem 12; Table 1 bold Ω(n log n)",
+	}
+	e.Run = func(cfg Config) error {
+		header(cfg.Out, e)
+		tw := newTable(cfg.Out)
+		fmt.Fprintln(tw, "algorithm\tn\tforced rounds\ttheory bound\tforced/(n·log n)\tmin stage ext")
+		sizes := []int{9, 17, 33, 65}
+		if cfg.Quick {
+			sizes = []int{9, 17, 33}
+		}
+		for _, n := range sizes {
+			algs := []sim.Algorithm{core.NewRoundRobin()}
+			if !cfg.Quick {
+				ss, err := core.NewStrongSelect(n)
+				if err != nil {
+					return err
+				}
+				algs = append(algs, ss)
+			}
+			for _, alg := range algs {
+				res, err := lowerbound.RunTheorem12Game(n, alg, 0)
+				if err != nil {
+					return err
+				}
+				minExt := res.ForcedRounds
+				for _, ext := range res.StageExtensions {
+					if ext < minExt {
+						minExt = ext
+					}
+				}
+				norm := float64(res.ForcedRounds) / (float64(n) * math.Log2(float64(n)))
+				fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.3f\t%d\n",
+					alg.Name(), n, res.ForcedRounds, res.TheoryBound, norm, minExt)
+				if !res.HitHorizon && res.ForcedRounds < res.TheoryBound {
+					return fmt.Errorf("theorem 12 bound violated for %s at n=%d", alg.Name(), n)
+				}
+			}
+		}
+		return tw.Flush()
+	}
+	return e
+}

@@ -1,0 +1,259 @@
+// Package graph provides directed and undirected graphs and the dual-graph
+// network model (G, G') from "Broadcasting in Unreliable Radio Networks"
+// (Kuhn, Lynch, Newport, Oshman, Richa; 2010). G holds the reliable links and
+// G' ⊇ G holds all links; edges in G' \ G are unreliable and controlled by an
+// adversary during simulation.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a graph node. Nodes of an n-node graph are 0..n-1.
+type NodeID int
+
+type edge struct {
+	from, to NodeID
+}
+
+// Graph is a simple directed or undirected graph over nodes 0..n-1.
+// An undirected Graph stores both orientations of every edge.
+type Graph struct {
+	n        int
+	directed bool
+	out      [][]NodeID
+	edges    map[edge]struct{}
+}
+
+// NewGraph returns an empty graph with n nodes.
+func NewGraph(n int, directed bool) *Graph {
+	return &Graph{
+		n:        n,
+		directed: directed,
+		out:      make([][]NodeID, n),
+		edges:    make(map[edge]struct{}),
+	}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// Directed reports whether the graph is directed.
+func (g *Graph) Directed() bool { return g.directed }
+
+// NumEdges returns the number of stored directed arcs. For an undirected
+// graph each edge counts twice (both orientations).
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddEdge inserts the edge (u, v); for undirected graphs it also inserts
+// (v, u). Self-loops and out-of-range endpoints are rejected.
+func (g *Graph) AddEdge(u, v NodeID) error {
+	if u == v {
+		return fmt.Errorf("self-loop at node %d", u)
+	}
+	if u < 0 || v < 0 || int(u) >= g.n || int(v) >= g.n {
+		return fmt.Errorf("edge (%d,%d) out of range for %d nodes", u, v, g.n)
+	}
+	g.addArc(u, v)
+	if !g.directed {
+		g.addArc(v, u)
+	}
+	return nil
+}
+
+// MustAddEdge is AddEdge for construction code with static endpoints.
+// It panics on invalid edges, which indicates a programming error in a
+// topology generator rather than a runtime condition.
+func (g *Graph) MustAddEdge(u, v NodeID) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+func (g *Graph) addArc(u, v NodeID) {
+	e := edge{u, v}
+	if _, ok := g.edges[e]; ok {
+		return
+	}
+	g.edges[e] = struct{}{}
+	g.out[u] = append(g.out[u], v)
+}
+
+// HasEdge reports whether the arc (u, v) exists.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	_, ok := g.edges[edge{u, v}]
+	return ok
+}
+
+// Out returns u's out-neighbours. The returned slice must not be modified.
+func (g *Graph) Out(u NodeID) []NodeID { return g.out[u] }
+
+// OutDegree returns the out-degree of u.
+func (g *Graph) OutDegree(u NodeID) int { return len(g.out[u]) }
+
+// MaxInDegree returns the maximum in-degree over all nodes.
+func (g *Graph) MaxInDegree() int {
+	in := make([]int, g.n)
+	for e := range g.edges {
+		in[e.to]++
+	}
+	maxIn := 0
+	for _, d := range in {
+		if d > maxIn {
+			maxIn = d
+		}
+	}
+	return maxIn
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph(g.n, g.directed)
+	for e := range g.edges {
+		c.addArc(e.from, e.to)
+	}
+	return c
+}
+
+// SortAdjacency sorts every adjacency list; useful for deterministic
+// iteration in simulations and tests.
+func (g *Graph) SortAdjacency() {
+	for _, nbrs := range g.out {
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	}
+}
+
+// DistancesFrom returns BFS distances from src; unreachable nodes get -1.
+func (g *Graph) DistancesFrom(src NodeID) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.out[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Errors returned by NewDual validation.
+var (
+	ErrNotSubgraph  = errors.New("reliable graph G is not a subgraph of G'")
+	ErrSizeMismatch = errors.New("G and G' have different node counts")
+	ErrUnreachable  = errors.New("some node is unreachable from the source in G")
+	ErrBadSource    = errors.New("source node out of range")
+	ErrTooSmall     = errors.New("a dual graph network needs at least 2 nodes")
+)
+
+// Dual is a dual-graph network (G, G') with a distinguished source. It is
+// immutable after construction.
+type Dual struct {
+	g             *Graph
+	gPrime        *Graph
+	source        NodeID
+	unreliableOut [][]NodeID // out-neighbours in G' that are not in G
+}
+
+// NewDual validates and assembles a dual graph network. It checks that
+// E ⊆ E', that node counts match, and that every node is reachable from the
+// source in G (the paper's standing assumption).
+func NewDual(g, gPrime *Graph, source NodeID) (*Dual, error) {
+	if g.N() != gPrime.N() {
+		return nil, ErrSizeMismatch
+	}
+	if g.N() < 2 {
+		return nil, ErrTooSmall
+	}
+	if source < 0 || int(source) >= g.N() {
+		return nil, ErrBadSource
+	}
+	for e := range g.edges {
+		if !gPrime.HasEdge(e.from, e.to) {
+			return nil, fmt.Errorf("%w: edge (%d,%d)", ErrNotSubgraph, e.from, e.to)
+		}
+	}
+	for v, dist := range g.DistancesFrom(source) {
+		if dist < 0 {
+			return nil, fmt.Errorf("%w: node %d", ErrUnreachable, v)
+		}
+	}
+	g = g.Clone()
+	gPrime = gPrime.Clone()
+	g.SortAdjacency()
+	gPrime.SortAdjacency()
+	d := &Dual{
+		g:             g,
+		gPrime:        gPrime,
+		source:        source,
+		unreliableOut: make([][]NodeID, g.N()),
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range gPrime.Out(NodeID(u)) {
+			if !g.HasEdge(NodeID(u), v) {
+				d.unreliableOut[u] = append(d.unreliableOut[u], v)
+			}
+		}
+	}
+	return d, nil
+}
+
+// MustDual is NewDual for generators whose construction is valid by design.
+func MustDual(g, gPrime *Graph, source NodeID) *Dual {
+	d, err := NewDual(g, gPrime, source)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// N returns the number of nodes.
+func (d *Dual) N() int { return d.g.N() }
+
+// Source returns the distinguished source node.
+func (d *Dual) Source() NodeID { return d.source }
+
+// G returns the reliable graph. The caller must not mutate it.
+func (d *Dual) G() *Graph { return d.g }
+
+// GPrime returns the full graph G'. The caller must not mutate it.
+func (d *Dual) GPrime() *Graph { return d.gPrime }
+
+// ReliableOut returns u's out-neighbours along reliable edges.
+func (d *Dual) ReliableOut(u NodeID) []NodeID { return d.g.Out(u) }
+
+// UnreliableOut returns u's out-neighbours along edges of G' \ G, the edges
+// the adversary controls.
+func (d *Dual) UnreliableOut(u NodeID) []NodeID { return d.unreliableOut[u] }
+
+// Classical reports whether G = G', i.e. the network has no unreliable edges
+// and behaves exactly like the classical static radio model.
+func (d *Dual) Classical() bool {
+	for _, u := range d.unreliableOut {
+		if len(u) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Eccentricity returns the maximum G-distance from the source, i.e. the
+// source eccentricity (a lower bound on broadcast time).
+func (d *Dual) Eccentricity() int {
+	ecc := 0
+	for _, dist := range d.g.DistancesFrom(d.source) {
+		if dist > ecc {
+			ecc = dist
+		}
+	}
+	return ecc
+}

@@ -1,0 +1,343 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Classical wraps a single graph g as the dual network (g, g): every link is
+// reliable, which is exactly the classical static radio model.
+func Classical(g *Graph, source NodeID) (*Dual, error) {
+	return NewDual(g, g, source)
+}
+
+// Complete returns the classical complete graph on n nodes (single hop).
+func Complete(n int) (*Dual, error) {
+	g := NewGraph(n, false)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.MustAddEdge(NodeID(u), NodeID(v))
+		}
+	}
+	return Classical(g, 0)
+}
+
+// Line returns the classical path 0-1-...-(n-1) with the source at node 0.
+func Line(n int) (*Dual, error) {
+	g := NewGraph(n, false)
+	for u := 0; u+1 < n; u++ {
+		g.MustAddEdge(NodeID(u), NodeID(u+1))
+	}
+	return Classical(g, 0)
+}
+
+// Star returns the classical star with the source at the hub (node 0).
+func Star(n int) (*Dual, error) {
+	g := NewGraph(n, false)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(0, NodeID(v))
+	}
+	return Classical(g, 0)
+}
+
+// CliqueBridge builds the Theorem 2 network for n >= 3: G is an (n-1)-node
+// clique C containing the source s (node 0) and a bridge b (node 1), plus a
+// receiver r (node n-1) attached only to b. G' is the complete graph.
+// The network is 2-broadcastable (s sends, then b sends) yet deterministic
+// broadcast against the Theorem 2 adversary needs more than n-3 rounds.
+func CliqueBridge(n int) (*Dual, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("clique-bridge needs n >= 3, got %d", n)
+	}
+	g := NewGraph(n, false)
+	for u := 0; u < n-1; u++ {
+		for v := u + 1; v < n-1; v++ {
+			g.MustAddEdge(NodeID(u), NodeID(v))
+		}
+	}
+	g.MustAddEdge(BridgeNode, NodeID(n-1))
+	gp := NewGraph(n, false)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			gp.MustAddEdge(NodeID(u), NodeID(v))
+		}
+	}
+	return NewDual(g, gp, 0)
+}
+
+// Node roles in the CliqueBridge network.
+const (
+	// BridgeNode is the clique node adjacent to the receiver.
+	BridgeNode NodeID = 1
+)
+
+// ReceiverNode returns the receiver node of an n-node CliqueBridge network.
+func ReceiverNode(n int) NodeID { return NodeID(n - 1) }
+
+// CompleteLayered builds the Theorem 12 network. Node 0 is the source
+// (layer L0); layer Lk = {2k-1, 2k} for k = 1..(n-1)/2. G connects the
+// source to L1, all nodes within a layer, and all nodes in consecutive
+// layers; G' is the complete graph. n must be odd and at least 5 so that
+// the layers pair up exactly.
+func CompleteLayered(n int) (*Dual, error) {
+	if n < 5 || n%2 == 0 {
+		return nil, fmt.Errorf("complete-layered needs odd n >= 5, got %d", n)
+	}
+	g := NewGraph(n, false)
+	layers := (n - 1) / 2
+	layerOf := func(k int) []NodeID {
+		if k == 0 {
+			return []NodeID{0}
+		}
+		return []NodeID{NodeID(2*k - 1), NodeID(2 * k)}
+	}
+	for k := 0; k <= layers; k++ {
+		cur := layerOf(k)
+		for i := 0; i < len(cur); i++ {
+			for j := i + 1; j < len(cur); j++ {
+				g.MustAddEdge(cur[i], cur[j])
+			}
+		}
+		if k < layers {
+			for _, u := range cur {
+				for _, v := range layerOf(k + 1) {
+					g.MustAddEdge(u, v)
+				}
+			}
+		}
+	}
+	gp := NewGraph(n, false)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			gp.MustAddEdge(NodeID(u), NodeID(v))
+		}
+	}
+	return NewDual(g, gp, 0)
+}
+
+// Layer returns the Theorem 12 layer index of a node in a CompleteLayered
+// network (0 for the source).
+func Layer(v NodeID) int {
+	if v == 0 {
+		return 0
+	}
+	return (int(v) + 1) / 2
+}
+
+// LayeredRandom builds a dual graph made of consecutive fully connected
+// layers with the given sizes (source alone in layer 0); G' is complete.
+// This is the layered-network shape used in the Section 7 intuition for
+// Harmonic Broadcast.
+func LayeredRandom(layerSizes []int) (*Dual, error) {
+	n := 1
+	for _, s := range layerSizes {
+		if s < 1 {
+			return nil, fmt.Errorf("layer size must be positive, got %d", s)
+		}
+		n += s
+	}
+	g := NewGraph(n, false)
+	prev := []NodeID{0}
+	next := 1
+	for _, s := range layerSizes {
+		cur := make([]NodeID, 0, s)
+		for i := 0; i < s; i++ {
+			cur = append(cur, NodeID(next))
+			next++
+		}
+		for i := 0; i < len(cur); i++ {
+			for j := i + 1; j < len(cur); j++ {
+				g.MustAddEdge(cur[i], cur[j])
+			}
+		}
+		for _, u := range prev {
+			for _, v := range cur {
+				g.MustAddEdge(u, v)
+			}
+		}
+		prev = cur
+	}
+	gp := NewGraph(n, false)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			gp.MustAddEdge(NodeID(u), NodeID(v))
+		}
+	}
+	return NewDual(g, gp, 0)
+}
+
+// Grid builds a rows x cols lattice whose lattice edges are reliable.
+// Unreliable edges connect nodes at Chebyshev distance <= reach (the
+// "gray zone" of longer, flaky radio links); each such candidate edge is
+// included independently with probability p using rng.
+func Grid(rows, cols, reach int, p float64, rng *rand.Rand) (*Dual, error) {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		return nil, fmt.Errorf("grid needs at least 2 nodes, got %dx%d", rows, cols)
+	}
+	if reach < 1 {
+		return nil, fmt.Errorf("grid reach must be >= 1, got %d", reach)
+	}
+	n := rows * cols
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	g := NewGraph(n, false)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if r+1 < rows {
+				g.MustAddEdge(id(r, c), id(r+1, c))
+			}
+			if c+1 < cols {
+				g.MustAddEdge(id(r, c), id(r, c+1))
+			}
+		}
+	}
+	gp := g.Clone()
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			for dr := -reach; dr <= reach; dr++ {
+				for dc := -reach; dc <= reach; dc++ {
+					r2, c2 := r+dr, c+dc
+					if r2 < 0 || r2 >= rows || c2 < 0 || c2 >= cols {
+						continue
+					}
+					u, v := id(r, c), id(r2, c2)
+					if u >= v || g.HasEdge(u, v) {
+						continue
+					}
+					if rng.Float64() < p {
+						gp.MustAddEdge(u, v)
+					}
+				}
+			}
+		}
+	}
+	return NewDual(g, gp, 0)
+}
+
+// RandomDual builds a random dual graph: G is a random connected graph
+// (a path through a random permutation plus G(n, pReliable) edges) and
+// G' adds each remaining pair independently with probability pUnreliable.
+func RandomDual(n int, pReliable, pUnreliable float64, rng *rand.Rand) (*Dual, error) {
+	if n < 2 {
+		return nil, ErrTooSmall
+	}
+	g := NewGraph(n, false)
+	perm := rng.Perm(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(NodeID(perm[i]), NodeID(perm[i+1]))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !g.HasEdge(NodeID(u), NodeID(v)) && rng.Float64() < pReliable {
+				g.MustAddEdge(NodeID(u), NodeID(v))
+			}
+		}
+	}
+	gp := g.Clone()
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !gp.HasEdge(NodeID(u), NodeID(v)) && rng.Float64() < pUnreliable {
+				gp.MustAddEdge(NodeID(u), NodeID(v))
+			}
+		}
+	}
+	return NewDual(g, gp, 0)
+}
+
+// Geometric places n nodes uniformly at random in the unit square. Links
+// shorter than rReliable are reliable, links shorter than rUnreliable are
+// unreliable (the classic gray-zone picture: short links always work, longer
+// ones only sometimes). A Hamiltonian path in placement order is added to G
+// to guarantee source reachability, modelling a deployment with a known-good
+// backbone.
+func Geometric(n int, rReliable, rUnreliable float64, rng *rand.Rand) (*Dual, error) {
+	if n < 2 {
+		return nil, ErrTooSmall
+	}
+	if rUnreliable < rReliable {
+		return nil, fmt.Errorf("rUnreliable (%v) must be >= rReliable (%v)", rUnreliable, rReliable)
+	}
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	dist := func(u, v int) float64 {
+		return math.Hypot(xs[u]-xs[v], ys[u]-ys[v])
+	}
+	g := NewGraph(n, false)
+	for u := 0; u+1 < n; u++ {
+		g.MustAddEdge(NodeID(u), NodeID(u+1))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if dist(u, v) <= rReliable {
+				g.MustAddEdge(NodeID(u), NodeID(v))
+			}
+		}
+	}
+	gp := g.Clone()
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !gp.HasEdge(NodeID(u), NodeID(v)) && dist(u, v) <= rUnreliable {
+				gp.MustAddEdge(NodeID(u), NodeID(v))
+			}
+		}
+	}
+	return NewDual(g, gp, 0)
+}
+
+// BinaryTree returns the classical complete binary tree on n nodes rooted at
+// the source.
+func BinaryTree(n int) (*Dual, error) {
+	if n < 2 {
+		return nil, ErrTooSmall
+	}
+	g := NewGraph(n, false)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(NodeID((v-1)/2), NodeID(v))
+	}
+	return Classical(g, 0)
+}
+
+// DirectedLayered builds a directed dual graph: a chain of layers where
+// reliable edges point from each layer to the next and G' additionally has
+// forward edges from every layer to all later layers. Used to exercise the
+// directed-graph setting of the Section 5 upper bound.
+func DirectedLayered(layerSizes []int) (*Dual, error) {
+	n := 1
+	for _, s := range layerSizes {
+		if s < 1 {
+			return nil, fmt.Errorf("layer size must be positive, got %d", s)
+		}
+		n += s
+	}
+	g := NewGraph(n, true)
+	gp := NewGraph(n, true)
+	var layers [][]NodeID
+	layers = append(layers, []NodeID{0})
+	next := 1
+	for _, s := range layerSizes {
+		cur := make([]NodeID, 0, s)
+		for i := 0; i < s; i++ {
+			cur = append(cur, NodeID(next))
+			next++
+		}
+		layers = append(layers, cur)
+	}
+	for k := 0; k+1 < len(layers); k++ {
+		for _, u := range layers[k] {
+			for _, v := range layers[k+1] {
+				g.MustAddEdge(u, v)
+				gp.MustAddEdge(u, v)
+			}
+			for j := k + 2; j < len(layers); j++ {
+				for _, v := range layers[j] {
+					gp.MustAddEdge(u, v)
+				}
+			}
+		}
+	}
+	return NewDual(g, gp, 0)
+}

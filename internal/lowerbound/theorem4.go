@@ -1,0 +1,87 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"dualgraph/internal/adversary"
+	"dualgraph/internal/graph"
+	"dualgraph/internal/sim"
+)
+
+// Theorem4Result reports the Monte-Carlo estimate of a randomized
+// algorithm's success probability within k rounds on the clique-bridge
+// network, for the adversary's best bridge assignment.
+type Theorem4Result struct {
+	// N is the network size and K the round budget.
+	N, K int
+	// Trials is the number of executions per bridge assignment.
+	Trials int
+	// SuccessByBridge[i] is the fraction of trials in which the broadcast
+	// reached all processes within K rounds when the bridge held process i
+	// (index valid for 2..n-1).
+	SuccessByBridge []float64
+	// MinSuccess is the success probability under the adversary's best
+	// (minimizing) bridge choice.
+	MinSuccess float64
+	// WorstBridgePid is that bridge choice.
+	WorstBridgePid int
+	// Bound is the Theorem 4 upper bound k/(n-2) on the success probability.
+	Bound float64
+}
+
+// RunTheorem4 estimates, by simulation, the probability that the randomized
+// algorithm completes broadcast within k rounds on the n-node clique-bridge
+// network under the Theorem 2 adversary rules (CR1, synchronous start), for
+// every bridge assignment, and compares the adversary's best choice against
+// the k/(n-2) bound of Theorem 4.
+func RunTheorem4(n, k, trials int, alg sim.Algorithm, seed int64) (*Theorem4Result, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("theorem 4 needs n >= 4, got %d", n)
+	}
+	if k < 1 || k > n-3 {
+		return nil, fmt.Errorf("theorem 4 needs 1 <= k <= n-3, got k=%d n=%d", k, n)
+	}
+	if trials < 1 {
+		return nil, fmt.Errorf("theorem 4 needs trials >= 1, got %d", trials)
+	}
+	d, err := graph.CliqueBridge(n)
+	if err != nil {
+		return nil, err
+	}
+	res := &Theorem4Result{
+		N:               n,
+		K:               k,
+		Trials:          trials,
+		SuccessByBridge: make([]float64, n),
+		MinSuccess:      2, // above any probability
+		Bound:           float64(k) / float64(n-2),
+	}
+	for i := 2; i <= n-1; i++ {
+		adv, err := adversary.NewTheorem2(n, i)
+		if err != nil {
+			return nil, err
+		}
+		successes := 0
+		for trial := 0; trial < trials; trial++ {
+			run, err := sim.Run(d, alg, adv, sim.Config{
+				Rule:      sim.CR1,
+				Start:     sim.SyncStart,
+				MaxRounds: k,
+				Seed:      seed + int64(trial)*7919 + int64(i),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bridge %d trial %d: %w", i, trial, err)
+			}
+			if run.Completed {
+				successes++
+			}
+		}
+		p := float64(successes) / float64(trials)
+		res.SuccessByBridge[i] = p
+		if p < res.MinSuccess {
+			res.MinSuccess = p
+			res.WorstBridgePid = i
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,489 @@
+// Package sim implements the synchronous round-based execution model of the
+// dual graph paper (Section 2.1): in each round every active process decides
+// whether to transmit; a transmitted message reaches all reliable
+// out-neighbours, an adversary-chosen subset of unreliable out-neighbours,
+// and the sender itself; receptions are then computed under one of the four
+// collision rules CR1-CR4 with synchronous or asynchronous starts.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"dualgraph/internal/graph"
+)
+
+// CollisionRule selects one of the paper's collision rules, in decreasing
+// order of strength from the algorithm's point of view.
+type CollisionRule int
+
+// The four collision rules of Section 2.1.
+const (
+	// CR1: any process reached by two or more messages (including its own)
+	// receives collision notification ⊤.
+	CR1 CollisionRule = iota + 1
+	// CR2: a sender always receives its own message; a non-sender reached by
+	// two or more messages receives ⊤.
+	CR2
+	// CR3: a sender always receives its own message; a non-sender reached by
+	// two or more messages hears silence ⊥ (no collision detection).
+	CR3
+	// CR4: a sender always receives its own message; for a non-sender
+	// reached by two or more messages the adversary chooses between ⊥ and
+	// one of the reaching messages (the weakest rule).
+	CR4
+)
+
+// String implements fmt.Stringer.
+func (c CollisionRule) String() string {
+	switch c {
+	case CR1:
+		return "CR1"
+	case CR2:
+		return "CR2"
+	case CR3:
+		return "CR3"
+	case CR4:
+		return "CR4"
+	}
+	return fmt.Sprintf("CollisionRule(%d)", int(c))
+}
+
+// StartRule selects when processes begin executing.
+type StartRule int
+
+// Start rules of Section 2.1.
+const (
+	// SyncStart activates every process in round 1.
+	SyncStart StartRule = iota + 1
+	// AsyncStart activates a process the first time a message is delivered
+	// to it (the source is active from round 1).
+	AsyncStart
+)
+
+// String implements fmt.Stringer.
+func (s StartRule) String() string {
+	switch s {
+	case SyncStart:
+		return "sync"
+	case AsyncStart:
+		return "async"
+	}
+	return fmt.Sprintf("StartRule(%d)", int(s))
+}
+
+// ReceptionKind classifies what a process hears in a round.
+type ReceptionKind int
+
+// Reception kinds.
+const (
+	// Silence is ⊥: no message was heard.
+	Silence ReceptionKind = iota + 1
+	// Delivered means exactly one message was received.
+	Delivered
+	// Collision is ⊤: collision notification.
+	Collision
+)
+
+// String implements fmt.Stringer.
+func (k ReceptionKind) String() string {
+	switch k {
+	case Silence:
+		return "⊥"
+	case Delivered:
+		return "msg"
+	case Collision:
+		return "⊤"
+	}
+	return fmt.Sprintf("ReceptionKind(%d)", int(k))
+}
+
+// Reception describes the outcome of a round for one process.
+type Reception struct {
+	// Kind is silence, a delivered message, or collision notification.
+	Kind ReceptionKind
+	// From is the sending node when Kind == Delivered.
+	From graph.NodeID
+	// FromProc is the sender's process identifier when Kind == Delivered.
+	FromProc int
+	// Broadcast reports whether the delivered message carries the broadcast
+	// payload (the sender held the message when transmitting).
+	Broadcast bool
+	// Own reports whether the delivered message is the receiver's own.
+	Own bool
+}
+
+// Process is one automaton of an algorithm. The engine calls Start exactly
+// once when the process becomes active, then in every subsequent round first
+// Decide and then Receive. Round numbers are global (the paper justifies a
+// global round counter by having the source label messages with its local
+// counter; see Section 5, footnote 1).
+type Process interface {
+	// Start activates the process at the given round. hasMessage is true
+	// only for the source process, which holds the broadcast message before
+	// round 1.
+	Start(round int, hasMessage bool)
+	// Decide reports whether the process transmits in this round.
+	Decide(round int) bool
+	// Receive delivers the round's reception outcome.
+	Receive(round int, r Reception)
+}
+
+// Algorithm creates the processes of a broadcast algorithm.
+type Algorithm interface {
+	// Name returns a short identifier for reports.
+	Name() string
+	// NewProcess creates the process with identifier id (1..n) for an
+	// n-node network. rng is the process's private randomness source;
+	// deterministic algorithms must not use it.
+	NewProcess(id, n int, rng *rand.Rand) Process
+}
+
+// View is the read-only information the engine exposes to the adversary when
+// it makes a choice. Slices are owned by the engine and must not be mutated.
+type View struct {
+	// Round is the current round (1-based).
+	Round int
+	// Dual is the network.
+	Dual *graph.Dual
+	// ProcOf maps node -> process identifier.
+	ProcOf []int
+	// HasMessage reports, per node, whether it held the broadcast message at
+	// the start of the round.
+	HasMessage []bool
+	// Active reports, per node, whether the process is active.
+	Active []bool
+	// Sent reports, per node, whether it transmits this round.
+	Sent []bool
+	// Rng is the adversary's private randomness source, seeded from
+	// Config.Seed for reproducibility.
+	Rng *rand.Rand
+}
+
+// NoDelivery is returned by Adversary.Resolve to indicate silence under CR4.
+const NoDelivery graph.NodeID = -1
+
+// Adversary controls the three nondeterministic choices of the model: the
+// process-to-node assignment, which unreliable edges deliver each round, and
+// CR4 collision resolution.
+type Adversary interface {
+	// Name returns a short identifier for reports.
+	Name() string
+	// AssignProcs returns the proc mapping as a slice procOf with
+	// procOf[node] = process id; it must be a permutation of 1..n.
+	AssignProcs(d *graph.Dual, rng *rand.Rand) ([]int, error)
+	// Deliver returns, for each sending node, the subset of its unreliable
+	// out-neighbours its message reaches this round. Nodes absent from the
+	// map get no unreliable deliveries. Every returned neighbour must be an
+	// unreliable out-neighbour of the sender.
+	Deliver(v *View, senders []graph.NodeID) map[graph.NodeID][]graph.NodeID
+	// Resolve picks the CR4 outcome for a non-sending node reached by two or
+	// more messages: NoDelivery for ⊥ or one of the reaching sender nodes.
+	Resolve(v *View, node graph.NodeID, reaching []graph.NodeID) graph.NodeID
+}
+
+// Config parameterizes a run.
+type Config struct {
+	// Rule is the collision rule (default CR4, the weakest).
+	Rule CollisionRule
+	// Start is the start rule (default AsyncStart, the weakest).
+	Start StartRule
+	// MaxRounds caps the execution length; 0 means the default cap.
+	MaxRounds int
+	// Seed makes the run reproducible.
+	Seed int64
+	// RecordSenders stores the per-round sender process ids in the result.
+	RecordSenders bool
+	// RunToMaxRounds keeps executing after completion (used by lower-bound
+	// drivers that inspect transcripts); by default the run stops when all
+	// processes hold the message.
+	RunToMaxRounds bool
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.Rule == 0 {
+		c.Rule = CR4
+	}
+	if c.Start == 0 {
+		c.Start = AsyncStart
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = defaultMaxRounds(n)
+	}
+	return c
+}
+
+// defaultMaxRounds is a generous cap well above the paper's O(n^{3/2}√log n)
+// worst case for the sizes we simulate.
+func defaultMaxRounds(n int) int {
+	return 200*n*n + 10000
+}
+
+// Result reports the outcome of a run.
+type Result struct {
+	// Completed reports whether every process received the message.
+	Completed bool
+	// Rounds is the round in which the last process first received the
+	// message (0 when n == 1 holders initially); if not completed it is the
+	// number of rounds executed.
+	Rounds int
+	// FirstReceive maps node -> round of first receipt of the broadcast
+	// message (0 for the source, -1 if never).
+	FirstReceive []int
+	// Transmissions counts all transmissions across the execution.
+	Transmissions int
+	// SendersByRound lists the sending process ids per round (1-based round
+	// r at index r-1) when Config.RecordSenders is set.
+	SendersByRound [][]int
+	// ProcOf is the node -> process id assignment used.
+	ProcOf []int
+}
+
+// Errors returned by Run.
+var (
+	ErrBadAssignment = errors.New("adversary returned an invalid proc assignment")
+	ErrBadDelivery   = errors.New("adversary delivered along a non-unreliable edge")
+	ErrBadResolve    = errors.New("adversary resolved CR4 to a non-reaching sender")
+)
+
+// Run executes alg against adv on network d under cfg and returns the
+// execution summary.
+func Run(d *graph.Dual, alg Algorithm, adv Adversary, cfg Config) (*Result, error) {
+	n := d.N()
+	cfg = cfg.withDefaults(n)
+	baseRng := rand.New(rand.NewSource(cfg.Seed))
+	assignRng := rand.New(rand.NewSource(baseRng.Int63()))
+	advRng := rand.New(rand.NewSource(baseRng.Int63()))
+	procSeeds := make([]int64, n+1)
+	for pid := 1; pid <= n; pid++ {
+		procSeeds[pid] = baseRng.Int63()
+	}
+
+	procOf, err := adv.AssignProcs(d, assignRng)
+	if err != nil {
+		return nil, fmt.Errorf("assign procs: %w", err)
+	}
+	if err := validateAssignment(procOf, n); err != nil {
+		return nil, err
+	}
+
+	procs := make([]Process, n)
+	for node := 0; node < n; node++ {
+		pid := procOf[node]
+		procs[node] = alg.NewProcess(pid, n, rand.New(rand.NewSource(procSeeds[pid])))
+	}
+
+	src := d.Source()
+	hasMsg := make([]bool, n)
+	active := make([]bool, n)
+	sent := make([]bool, n)
+	firstRecv := make([]int, n)
+	for i := range firstRecv {
+		firstRecv[i] = -1
+	}
+	hasMsg[src] = true
+	firstRecv[src] = 0
+
+	procs[src].Start(1, true)
+	active[src] = true
+	if cfg.Start == SyncStart {
+		for node := 0; node < n; node++ {
+			if graph.NodeID(node) != src {
+				procs[node].Start(1, false)
+				active[node] = true
+			}
+		}
+	}
+
+	res := &Result{
+		FirstReceive: firstRecv,
+		ProcOf:       procOf,
+	}
+	view := &View{
+		Dual:       d,
+		ProcOf:     procOf,
+		HasMessage: hasMsg,
+		Active:     active,
+		Sent:       sent,
+		Rng:        advRng,
+	}
+	reaching := make([][]graph.NodeID, n)
+
+	holders := 1
+	for round := 1; round <= cfg.MaxRounds; round++ {
+		view.Round = round
+		for i := range sent {
+			sent[i] = false
+		}
+		var senders []graph.NodeID
+		for node := 0; node < n; node++ {
+			if active[node] && procs[node].Decide(round) {
+				sent[node] = true
+				senders = append(senders, graph.NodeID(node))
+			}
+		}
+		res.Transmissions += len(senders)
+		if cfg.RecordSenders {
+			pids := make([]int, len(senders))
+			for i, s := range senders {
+				pids[i] = procOf[s]
+			}
+			res.SendersByRound = append(res.SendersByRound, pids)
+		}
+
+		for i := range reaching {
+			reaching[i] = reaching[i][:0]
+		}
+		for _, s := range senders {
+			reaching[s] = append(reaching[s], s)
+			for _, v := range d.ReliableOut(s) {
+				reaching[v] = append(reaching[v], s)
+			}
+		}
+		if len(senders) > 0 {
+			delivered := adv.Deliver(view, senders)
+			for s, targets := range delivered {
+				if !sent[s] {
+					return nil, fmt.Errorf("%w: node %d did not send", ErrBadDelivery, s)
+				}
+				for _, v := range targets {
+					if d.G().HasEdge(s, v) || !d.GPrime().HasEdge(s, v) {
+						return nil, fmt.Errorf("%w: (%d,%d)", ErrBadDelivery, s, v)
+					}
+					reaching[v] = append(reaching[v], s)
+				}
+			}
+		}
+
+		// senderHadMsg is evaluated against the start-of-round holder set;
+		// hasMsg is only updated after all receptions are computed.
+		newHolders := make([]graph.NodeID, 0, 4)
+		for node := 0; node < n; node++ {
+			rec, err := computeReception(cfg.Rule, adv, view, graph.NodeID(node), sent[node], reaching[node], procOf, hasMsg)
+			if err != nil {
+				return nil, err
+			}
+			if rec.Kind == Delivered && rec.Broadcast && !rec.Own && !hasMsg[node] {
+				newHolders = append(newHolders, graph.NodeID(node))
+			}
+			switch {
+			case active[node]:
+				procs[node].Receive(round, rec)
+			case rec.Kind == Delivered && cfg.Start == AsyncStart:
+				// Asynchronous activation: the process wakes on its first
+				// received message and observes that reception.
+				procs[node].Start(round, false)
+				active[node] = true
+				procs[node].Receive(round, rec)
+			}
+		}
+		for _, node := range newHolders {
+			hasMsg[node] = true
+			firstRecv[node] = round
+			holders++
+		}
+
+		res.Rounds = round
+		if holders == n && !cfg.RunToMaxRounds {
+			break
+		}
+	}
+
+	res.Completed = holders == n
+	if res.Completed && !cfg.RunToMaxRounds {
+		// Rounds is the completion round: the max first-receive round.
+		maxRecv := 0
+		for _, r := range firstRecv {
+			if r > maxRecv {
+				maxRecv = r
+			}
+		}
+		res.Rounds = maxRecv
+	}
+	return res, nil
+}
+
+func computeReception(
+	rule CollisionRule,
+	adv Adversary,
+	view *View,
+	node graph.NodeID,
+	isSender bool,
+	reaching []graph.NodeID,
+	procOf []int,
+	hasMsg []bool,
+) (Reception, error) {
+	deliverFrom := func(s graph.NodeID) Reception {
+		return Reception{
+			Kind:      Delivered,
+			From:      s,
+			FromProc:  procOf[s],
+			Broadcast: hasMsg[s],
+			Own:       s == node,
+		}
+	}
+	own := func() Reception {
+		return Reception{
+			Kind:      Delivered,
+			From:      node,
+			FromProc:  procOf[node],
+			Broadcast: hasMsg[node],
+			Own:       true,
+		}
+	}
+
+	switch rule {
+	case CR1:
+		switch len(reaching) {
+		case 0:
+			return Reception{Kind: Silence}, nil
+		case 1:
+			return deliverFrom(reaching[0]), nil
+		default:
+			return Reception{Kind: Collision}, nil
+		}
+	case CR2, CR3, CR4:
+		if isSender {
+			return own(), nil
+		}
+		switch len(reaching) {
+		case 0:
+			return Reception{Kind: Silence}, nil
+		case 1:
+			return deliverFrom(reaching[0]), nil
+		}
+		switch rule {
+		case CR2:
+			return Reception{Kind: Collision}, nil
+		case CR3:
+			return Reception{Kind: Silence}, nil
+		default: // CR4
+			choice := adv.Resolve(view, node, reaching)
+			if choice == NoDelivery {
+				return Reception{Kind: Silence}, nil
+			}
+			for _, s := range reaching {
+				if s == choice {
+					return deliverFrom(s), nil
+				}
+			}
+			return Reception{}, fmt.Errorf("%w: node %d chose %d", ErrBadResolve, node, choice)
+		}
+	}
+	return Reception{}, fmt.Errorf("unknown collision rule %v", rule)
+}
+
+func validateAssignment(procOf []int, n int) error {
+	if len(procOf) != n {
+		return fmt.Errorf("%w: length %d, want %d", ErrBadAssignment, len(procOf), n)
+	}
+	seen := make([]bool, n+1)
+	for node, pid := range procOf {
+		if pid < 1 || pid > n || seen[pid] {
+			return fmt.Errorf("%w: node %d has pid %d", ErrBadAssignment, node, pid)
+		}
+		seen[pid] = true
+	}
+	return nil
+}

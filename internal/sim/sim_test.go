@@ -1,0 +1,491 @@
+package sim_test
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dualgraph/internal/adversary"
+	"dualgraph/internal/core"
+	"dualgraph/internal/graph"
+	"dualgraph/internal/sim"
+)
+
+// scriptAlg is a test algorithm whose processes transmit in scripted rounds
+// (once they hold the message, unless sendWithoutMsg is set) and record every
+// reception for later assertions.
+type scriptAlg struct {
+	name           string
+	sendRounds     map[int]map[int]bool // pid -> set of rounds
+	sendWithoutMsg bool
+	procs          map[int]*scriptProc
+}
+
+func newScriptAlg(sendRounds map[int]map[int]bool, sendWithoutMsg bool) *scriptAlg {
+	return &scriptAlg{
+		name:           "script",
+		sendRounds:     sendRounds,
+		sendWithoutMsg: sendWithoutMsg,
+		procs:          make(map[int]*scriptProc),
+	}
+}
+
+func (a *scriptAlg) Name() string { return a.name }
+
+func (a *scriptAlg) NewProcess(id, n int, _ *rand.Rand) sim.Process {
+	p := &scriptProc{alg: a, id: id, recs: map[int]sim.Reception{}}
+	a.procs[id] = p
+	return p
+}
+
+type scriptProc struct {
+	alg     *scriptAlg
+	id      int
+	has     bool
+	started int
+	recs    map[int]sim.Reception
+}
+
+func (p *scriptProc) Start(round int, hasMessage bool) {
+	p.started = round
+	p.has = hasMessage
+}
+
+func (p *scriptProc) Decide(round int) bool {
+	if !p.has && !p.alg.sendWithoutMsg {
+		return false
+	}
+	return p.alg.sendRounds[p.id][round]
+}
+
+func (p *scriptProc) Receive(round int, r sim.Reception) {
+	p.recs[round] = r
+	if r.Kind == sim.Delivered && r.Broadcast {
+		p.has = true
+	}
+}
+
+func mustLine(t *testing.T, n int) *graph.Dual {
+	t.Helper()
+	d, err := graph.Line(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRoundRobinOnClassicalLine(t *testing.T) {
+	n := 6
+	d := mustLine(t, n)
+	res, err := sim.Run(d, core.NewRoundRobin(), adversary.Benign{}, sim.Config{
+		Rule:  sim.CR3,
+		Start: sim.SyncStart,
+		Seed:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("round robin must complete on a line")
+	}
+	// Node i (pid i+1) transmits in round i+1; the message advances one hop
+	// per round, so node k first receives in round k.
+	for k := 1; k < n; k++ {
+		if res.FirstReceive[k] != k {
+			t.Errorf("FirstReceive[%d] = %d, want %d", k, res.FirstReceive[k], k)
+		}
+	}
+	if res.Rounds != n-1 {
+		t.Errorf("Rounds = %d, want %d", res.Rounds, n-1)
+	}
+}
+
+func TestSourceHoldsMessageBeforeRound1(t *testing.T) {
+	d := mustLine(t, 3)
+	res, err := sim.Run(d, core.NewRoundRobin(), adversary.Benign{}, sim.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstReceive[0] != 0 {
+		t.Fatalf("source FirstReceive = %d, want 0", res.FirstReceive[0])
+	}
+}
+
+// buildTriangleWithTwoSenders runs a 3-node classical triangle where pids 1
+// and 2 both transmit in round 1 and returns the reception seen by each pid.
+func buildTriangleWithTwoSenders(t *testing.T, rule sim.CollisionRule) map[int]sim.Reception {
+	t.Helper()
+	g := graph.NewGraph(3, false)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(0, 2)
+	d, err := graph.Classical(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := newScriptAlg(map[int]map[int]bool{
+		1: {1: true},
+		2: {1: true},
+	}, true)
+	_, err = sim.Run(d, alg, adversary.Benign{}, sim.Config{
+		Rule:      rule,
+		Start:     sim.SyncStart,
+		MaxRounds: 1,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[int]sim.Reception{}
+	for pid, p := range alg.procs {
+		out[pid] = p.recs[1]
+	}
+	return out
+}
+
+func TestCollisionRuleCR1(t *testing.T) {
+	recs := buildTriangleWithTwoSenders(t, sim.CR1)
+	// Everyone (including both senders) is reached by two messages: all ⊤.
+	for pid := 1; pid <= 3; pid++ {
+		if recs[pid].Kind != sim.Collision {
+			t.Errorf("pid %d reception = %v, want ⊤", pid, recs[pid].Kind)
+		}
+	}
+}
+
+func TestCollisionRuleCR2(t *testing.T) {
+	recs := buildTriangleWithTwoSenders(t, sim.CR2)
+	// Senders hear their own message; the non-sender gets ⊤.
+	for pid := 1; pid <= 2; pid++ {
+		if recs[pid].Kind != sim.Delivered || !recs[pid].Own {
+			t.Errorf("sender pid %d reception = %+v, want own message", pid, recs[pid])
+		}
+	}
+	if recs[3].Kind != sim.Collision {
+		t.Errorf("non-sender reception = %v, want ⊤", recs[3].Kind)
+	}
+}
+
+func TestCollisionRuleCR3(t *testing.T) {
+	recs := buildTriangleWithTwoSenders(t, sim.CR3)
+	if recs[3].Kind != sim.Silence {
+		t.Errorf("non-sender reception = %v, want ⊥", recs[3].Kind)
+	}
+}
+
+func TestCollisionRuleCR4AdversaryChoice(t *testing.T) {
+	// Benign resolves to silence; FullDelivery resolves to the first message.
+	g := graph.NewGraph(3, false)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(0, 2)
+	d, err := graph.Classical(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		adv  sim.Adversary
+		want sim.ReceptionKind
+	}{
+		{adversary.Benign{}, sim.Silence},
+		{adversary.FullDelivery{}, sim.Delivered},
+	} {
+		alg := newScriptAlg(map[int]map[int]bool{1: {1: true}, 2: {1: true}}, true)
+		if _, err := sim.Run(d, alg, tc.adv, sim.Config{
+			Rule: sim.CR4, Start: sim.SyncStart, MaxRounds: 1, Seed: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got := alg.procs[3].recs[1].Kind; got != tc.want {
+			t.Errorf("adversary %s: non-sender reception = %v, want %v", tc.adv.Name(), got, tc.want)
+		}
+	}
+}
+
+func TestSingleSenderDelivers(t *testing.T) {
+	d := mustLine(t, 3)
+	alg := newScriptAlg(map[int]map[int]bool{1: {1: true}}, false)
+	res, err := sim.Run(d, alg, adversary.Benign{}, sim.Config{
+		Rule: sim.CR4, Start: sim.SyncStart, MaxRounds: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := alg.procs[2].recs[1]
+	if rec.Kind != sim.Delivered || rec.FromProc != 1 || !rec.Broadcast || rec.Own {
+		t.Fatalf("neighbour reception = %+v, want broadcast message from pid 1", rec)
+	}
+	if res.FirstReceive[1] != 1 {
+		t.Fatalf("FirstReceive[1] = %d, want 1", res.FirstReceive[1])
+	}
+	// Node 2 is out of range of the source: silence.
+	if alg.procs[3].recs[1].Kind != sim.Silence {
+		t.Fatalf("far node reception = %v, want ⊥", alg.procs[3].recs[1].Kind)
+	}
+}
+
+func TestAsyncStartActivatesOnFirstMessage(t *testing.T) {
+	d := mustLine(t, 3)
+	alg := newScriptAlg(map[int]map[int]bool{1: {1: true}, 2: {2: true}}, false)
+	if _, err := sim.Run(d, alg, adversary.Benign{}, sim.Config{
+		Rule: sim.CR4, Start: sim.AsyncStart, MaxRounds: 3, Seed: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if alg.procs[2].started != 1 {
+		t.Fatalf("pid 2 started in round %d, want 1", alg.procs[2].started)
+	}
+	if alg.procs[3].started != 2 {
+		t.Fatalf("pid 3 started in round %d, want 2", alg.procs[3].started)
+	}
+}
+
+func TestAsyncStartInactiveHearsNothing(t *testing.T) {
+	d := mustLine(t, 3)
+	// Nobody ever transmits; the non-source processes must never start.
+	alg := newScriptAlg(map[int]map[int]bool{}, false)
+	if _, err := sim.Run(d, alg, adversary.Benign{}, sim.Config{
+		Rule: sim.CR4, Start: sim.AsyncStart, MaxRounds: 5, Seed: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if alg.procs[2].started != 0 || alg.procs[3].started != 0 {
+		t.Fatal("inactive processes must not be started without a message")
+	}
+	if len(alg.procs[2].recs) != 0 {
+		t.Fatal("inactive processes must not receive")
+	}
+}
+
+func TestUnreliableEdgeOnlyDeliversWhenAdversaryAllows(t *testing.T) {
+	// Two nodes joined only by an unreliable edge cannot form a valid dual
+	// (unreachable), so use: 0-1 reliable, 0-2 via 1 reliable, plus 0-2
+	// unreliable shortcut.
+	g := graph.NewGraph(3, false)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	gp := g.Clone()
+	gp.MustAddEdge(0, 2)
+	d, err := graph.NewDual(g, gp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := newScriptAlg(map[int]map[int]bool{1: {1: true}}, false)
+	if _, err := sim.Run(d, alg, adversary.Benign{}, sim.Config{
+		Rule: sim.CR4, Start: sim.SyncStart, MaxRounds: 1, Seed: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if alg.procs[3].recs[1].Kind != sim.Silence {
+		t.Fatal("benign adversary must not deliver the unreliable shortcut")
+	}
+
+	alg = newScriptAlg(map[int]map[int]bool{1: {1: true}}, false)
+	if _, err := sim.Run(d, alg, adversary.FullDelivery{}, sim.Config{
+		Rule: sim.CR4, Start: sim.SyncStart, MaxRounds: 1, Seed: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if alg.procs[3].recs[1].Kind != sim.Delivered {
+		t.Fatal("full-delivery adversary must deliver the unreliable shortcut")
+	}
+}
+
+// badDeliveryAdversary delivers along a reliable edge, which the engine must
+// reject.
+type badDeliveryAdversary struct{ adversary.Benign }
+
+func (badDeliveryAdversary) Name() string { return "bad-delivery" }
+
+func (badDeliveryAdversary) Deliver(v *sim.View, senders []graph.NodeID) map[graph.NodeID][]graph.NodeID {
+	if len(senders) == 0 {
+		return nil
+	}
+	s := senders[0]
+	outs := v.Dual.ReliableOut(s)
+	if len(outs) == 0 {
+		return nil
+	}
+	return map[graph.NodeID][]graph.NodeID{s: {outs[0]}}
+}
+
+func TestEngineRejectsInvalidDelivery(t *testing.T) {
+	d := mustLine(t, 3)
+	alg := newScriptAlg(map[int]map[int]bool{1: {1: true}}, false)
+	_, err := sim.Run(d, alg, badDeliveryAdversary{}, sim.Config{MaxRounds: 1, Seed: 1})
+	if !errors.Is(err, sim.ErrBadDelivery) {
+		t.Fatalf("want ErrBadDelivery, got %v", err)
+	}
+}
+
+// badAssignAdversary returns a non-permutation assignment.
+type badAssignAdversary struct{ adversary.Benign }
+
+func (badAssignAdversary) Name() string { return "bad-assign" }
+
+func (badAssignAdversary) AssignProcs(d *graph.Dual, _ *rand.Rand) ([]int, error) {
+	procOf := make([]int, d.N())
+	for i := range procOf {
+		procOf[i] = 1
+	}
+	return procOf, nil
+}
+
+func TestEngineRejectsInvalidAssignment(t *testing.T) {
+	d := mustLine(t, 3)
+	_, err := sim.Run(d, core.NewRoundRobin(), badAssignAdversary{}, sim.Config{Seed: 1})
+	if !errors.Is(err, sim.ErrBadAssignment) {
+		t.Fatalf("want ErrBadAssignment, got %v", err)
+	}
+}
+
+// badResolveAdversary resolves CR4 to a node that is not reaching.
+type badResolveAdversary struct{ adversary.FullDelivery }
+
+func (badResolveAdversary) Name() string { return "bad-resolve" }
+
+func (badResolveAdversary) Resolve(v *sim.View, node graph.NodeID, reaching []graph.NodeID) graph.NodeID {
+	return node // a node never reaches itself as a non-sender
+}
+
+func TestEngineRejectsInvalidResolve(t *testing.T) {
+	g := graph.NewGraph(3, false)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(0, 2)
+	d, err := graph.Classical(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := newScriptAlg(map[int]map[int]bool{1: {1: true}, 2: {1: true}}, true)
+	_, err = sim.Run(d, alg, badResolveAdversary{}, sim.Config{
+		Rule: sim.CR4, Start: sim.SyncStart, MaxRounds: 1, Seed: 1,
+	})
+	if !errors.Is(err, sim.ErrBadResolve) {
+		t.Fatalf("want ErrBadResolve, got %v", err)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d, err := graph.RandomDual(24, 0.15, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := core.NewHarmonicForN(24, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *sim.Result {
+		adv, err := adversary.NewRandom(0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(d, alg, adv, sim.Config{Seed: 12345, RecordSenders: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Rounds != b.Rounds || a.Transmissions != b.Transmissions {
+		t.Fatalf("same seed produced different results: %d/%d vs %d/%d",
+			a.Rounds, a.Transmissions, b.Rounds, b.Transmissions)
+	}
+	if !reflect.DeepEqual(a.SendersByRound, b.SendersByRound) {
+		t.Fatal("same seed produced different transcripts")
+	}
+	if !reflect.DeepEqual(a.FirstReceive, b.FirstReceive) {
+		t.Fatal("same seed produced different first-receive rounds")
+	}
+}
+
+func TestRecordSendersTranscript(t *testing.T) {
+	d := mustLine(t, 4)
+	res, err := sim.Run(d, core.NewRoundRobin(), adversary.Benign{}, sim.Config{
+		Rule: sim.CR3, Start: sim.SyncStart, Seed: 1, RecordSenders: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SendersByRound) < res.Rounds {
+		t.Fatalf("transcript has %d rounds, want >= %d", len(res.SendersByRound), res.Rounds)
+	}
+	if len(res.SendersByRound[0]) != 1 || res.SendersByRound[0][0] != 1 {
+		t.Fatalf("round 1 senders = %v, want [1]", res.SendersByRound[0])
+	}
+}
+
+func TestRunToMaxRounds(t *testing.T) {
+	d := mustLine(t, 3)
+	res, err := sim.Run(d, core.NewRoundRobin(), adversary.Benign{}, sim.Config{
+		Rule: sim.CR3, Start: sim.SyncStart, Seed: 1,
+		MaxRounds: 20, RunToMaxRounds: true, RecordSenders: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 20 {
+		t.Fatalf("Rounds = %d, want 20 (run to cap)", res.Rounds)
+	}
+	if !res.Completed {
+		t.Fatal("broadcast must still be detected as complete")
+	}
+}
+
+func TestIncompleteRunReported(t *testing.T) {
+	// A network where the only route to node 2 is via node 1, but pid 2
+	// never transmits: broadcast cannot complete.
+	d := mustLine(t, 3)
+	alg := newScriptAlg(map[int]map[int]bool{1: {1: true}}, false)
+	res, err := sim.Run(d, alg, adversary.Benign{}, sim.Config{MaxRounds: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("broadcast must not complete")
+	}
+	if res.FirstReceive[2] != -1 {
+		t.Fatalf("unreached node FirstReceive = %d, want -1", res.FirstReceive[2])
+	}
+}
+
+func TestCollisionRuleStrings(t *testing.T) {
+	cases := map[sim.CollisionRule]string{
+		sim.CR1: "CR1", sim.CR2: "CR2", sim.CR3: "CR3", sim.CR4: "CR4",
+	}
+	for rule, want := range cases {
+		if rule.String() != want {
+			t.Errorf("%v.String() = %q, want %q", int(rule), rule.String(), want)
+		}
+	}
+	if sim.SyncStart.String() != "sync" || sim.AsyncStart.String() != "async" {
+		t.Error("start rule strings wrong")
+	}
+}
+
+func TestBenignEqualsClassicalStaticModel(t *testing.T) {
+	// On a classical network the benign and full-delivery adversaries give
+	// identical executions: there are no unreliable edges to control.
+	d, err := graph.BinaryTree(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, err := sim.Run(d, core.NewRoundRobin(), adversary.Benign{}, sim.Config{
+		Rule: sim.CR3, Start: sim.SyncStart, Seed: 7, RecordSenders: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := sim.Run(d, core.NewRoundRobin(), adversary.FullDelivery{}, sim.Config{
+		Rule: sim.CR3, Start: sim.SyncStart, Seed: 7, RecordSenders: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resA.SendersByRound, resB.SendersByRound) ||
+		!reflect.DeepEqual(resA.FirstReceive, resB.FirstReceive) {
+		t.Fatal("classical network must be adversary-independent")
+	}
+}

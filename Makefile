@@ -1,0 +1,41 @@
+# Shared entry points for CI and humans. CI (.github/workflows/ci.yml) calls
+# exactly these targets, so a green `make ci` locally means a green pipeline.
+
+GO ?= go
+
+.PHONY: all build vet fmt-check test test-short race bench-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# gofmt -l lists unformatted files; fail if any.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+# The -short lane skips the slow full-registry experiment test but still
+# exercises the engine fan-out path.
+test-short:
+	$(GO) test -short ./...
+
+# Race job scoped to the concurrent core: the trial engine and the simulator
+# it drives.
+race:
+	$(GO) test -race ./internal/engine/... ./internal/sim/...
+
+# A fast benchmark pass: the engine speedup pair and the allocation-free
+# round loop, a few iterations each.
+bench-smoke:
+	$(GO) test -run NONE -bench 'BenchmarkEngine|BenchmarkSimRoundLoop' -benchtime 3x .
+
+ci: build vet fmt-check test race

@@ -10,11 +10,13 @@ package dualgraph_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"dualgraph"
 	"dualgraph/internal/adversary"
 	"dualgraph/internal/core"
+	"dualgraph/internal/engine"
 	"dualgraph/internal/exhaustive"
 	"dualgraph/internal/expt"
 	"dualgraph/internal/graph"
@@ -402,6 +404,79 @@ func BenchmarkExtExhaustiveSearch(b *testing.B) {
 		worst = res.WorstRounds
 	}
 	b.ReportMetric(float64(worst), "worst-rounds")
+}
+
+// benchEngineTrials is the Monte Carlo workload used to compare the
+// sequential and parallel trial paths: Harmonic Broadcast against the
+// adaptive adversary on the clique-bridge network.
+func benchEngineTrials(b *testing.B, workers int) {
+	b.Helper()
+	n := 65
+	d, err := graph.CliqueBridge(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alg, err := core.NewHarmonicForN(n, 0.02)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound := int(2 * float64(n*alg.T) * stats.HarmonicNumber(n))
+	simCfg := sim.Config{Rule: sim.CR4, Start: sim.AsyncStart, Seed: 1, MaxRounds: bound}
+	const trials = 64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := engine.RunMany(d, alg, adversary.GreedyCollider{}, simCfg, trials,
+			engine.Config{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, res := range results {
+			if !res.Completed {
+				b.Fatal("broadcast incomplete")
+			}
+		}
+	}
+	b.ReportMetric(float64(trials), "trials/op")
+}
+
+// BenchmarkEngineSequential is the single-worker baseline for the trial
+// engine: 64 Table 2 style trials on one core.
+func BenchmarkEngineSequential(b *testing.B) {
+	benchEngineTrials(b, 1)
+}
+
+// BenchmarkEngineParallel fans the same 64 trials out over one worker per
+// CPU. On a machine with >= 4 cores this shows the engine's multi-core
+// speedup (>= 2x vs BenchmarkEngineSequential); results are bit-identical
+// to the sequential run either way.
+func BenchmarkEngineParallel(b *testing.B) {
+	benchEngineTrials(b, runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkSimRoundLoop measures the allocation profile of the rewritten
+// delivery hot path: steady-state rounds must not allocate (allocs/op stays
+// flat in the round count, dominated by per-run setup).
+func BenchmarkSimRoundLoop(b *testing.B) {
+	n := 65
+	d, err := graph.CliqueBridge(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alg, err := core.NewUniform(0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := sim.Run(d, alg, adversary.GreedyCollider{}, sim.Config{
+			Rule: sim.CR4, Start: sim.SyncStart, Seed: int64(i),
+			MaxRounds: 2000, RunToMaxRounds: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkExperimentsQuick runs the full experiment registry in quick mode

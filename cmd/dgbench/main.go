@@ -11,6 +11,7 @@ import (
 	"os"
 	"strings"
 
+	"dualgraph/internal/engine"
 	"dualgraph/internal/expt"
 )
 
@@ -24,14 +25,20 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dgbench", flag.ContinueOnError)
 	var (
-		id    = fs.String("experiment", "all", "experiment id, 'all', or 'list'")
-		quick = fs.Bool("quick", false, "smaller sweeps and trial counts")
-		seed  = fs.Int64("seed", 1, "random seed")
+		id      = fs.String("experiment", "all", "experiment id, 'all', or 'list'")
+		quick   = fs.Bool("quick", false, "smaller sweeps and trial counts")
+		seed    = fs.Int64("seed", 1, "random seed")
+		workers = fs.Int("workers", 0, "trial engine worker count (0 = one per CPU); output is identical at any value")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := expt.Config{Out: os.Stdout, Quick: *quick, Seed: *seed}
+	cfg := expt.Config{
+		Out:    os.Stdout,
+		Quick:  *quick,
+		Seed:   *seed,
+		Engine: engine.Config{Workers: *workers},
+	}
 
 	switch *id {
 	case "list":

@@ -1,15 +1,20 @@
-// Command dgsim runs a single broadcast simulation: one topology, one
-// algorithm, one adversary, one collision rule, and prints the outcome.
+// Command dgsim runs broadcast simulations: one topology, one algorithm,
+// one adversary, one collision rule. With -trials 1 it prints the outcome
+// of a single run; with -trials N it fans N independently seeded runs out
+// over the parallel trial engine and prints aggregate statistics (results
+// are identical at any -workers value).
 //
-// Example:
+// Examples:
 //
 //	dgsim -topo clique-bridge -n 33 -alg harmonic -adv greedy -rule 4 -seed 7 -v
+//	dgsim -topo geometric -n 65 -alg harmonic -adv greedy -trials 1000
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"dualgraph"
 )
@@ -33,7 +38,9 @@ func run(args []string) error {
 		seed      = fs.Int64("seed", 1, "random seed")
 		maxRounds = fs.Int("max-rounds", 0, "round cap (0 = default)")
 		p         = fs.Float64("p", 0.25, "probability parameter for uniform algorithm / random adversary")
-		verbose   = fs.Bool("v", false, "print per-node first-receive rounds")
+		verbose   = fs.Bool("v", false, "print per-node first-receive rounds (single-trial mode only)")
+		trials    = fs.Int("trials", 1, "number of independently seeded runs (per-trial seed derived from -seed and the trial index)")
+		workers   = fs.Int("workers", 0, "trial engine worker count (0 = one per CPU)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,6 +72,13 @@ func run(args []string) error {
 		return fmt.Errorf("unknown start rule %q", *start)
 	}
 
+	if *trials < 1 {
+		return fmt.Errorf("trials must be >= 1, got %d", *trials)
+	}
+	if *trials > 1 {
+		return runMany(net, alg, adv, cfg, *topo, *rule, *start, *seed, *trials, *workers)
+	}
+
 	res, err := dualgraph.Run(net, alg, adv, cfg)
 	if err != nil {
 		return err
@@ -78,6 +92,34 @@ func run(args []string) error {
 			fmt.Printf("  node %3d (pid %3d): first receive round %d\n", node, res.ProcOf[node], r)
 		}
 	}
+	return nil
+}
+
+// runMany executes a Monte Carlo sweep through the parallel trial engine
+// and prints aggregate round statistics.
+func runMany(net *dualgraph.Network, alg dualgraph.Algorithm, adv dualgraph.Adversary,
+	cfg dualgraph.Config, topo string, rule int, start string, seed int64, trials, workers int) error {
+	results, err := dualgraph.RunMany(net, alg, adv, cfg, trials, dualgraph.EngineConfig{Workers: workers})
+	if err != nil {
+		return err
+	}
+	completed := 0
+	totalTx := 0
+	rounds := make([]int, 0, len(results))
+	for _, res := range results {
+		if res.Completed {
+			completed++
+		}
+		totalTx += res.Transmissions
+		rounds = append(rounds, res.Rounds)
+	}
+	sort.Ints(rounds)
+	pct := func(q float64) int { return rounds[int(q*float64(len(rounds)-1))] }
+	fmt.Printf("topology=%s n=%d alg=%s adversary=%s rule=CR%d start=%s seed=%d trials=%d\n",
+		topo, net.N(), alg.Name(), adv.Name(), rule, start, seed, trials)
+	fmt.Printf("completed=%d/%d rounds: min=%d p50=%d p90=%d p99=%d max=%d mean-transmissions=%.1f\n",
+		completed, trials, rounds[0], pct(0.50), pct(0.90), pct(0.99),
+		rounds[len(rounds)-1], float64(totalTx)/float64(trials))
 	return nil
 }
 

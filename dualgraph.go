@@ -1,13 +1,19 @@
 // Package dualgraph is the public API of the dual-graph radio network
 // library, a full reproduction of "Broadcasting in Unreliable Radio
-// Networks" (Kuhn, Lynch, Newport, Oshman, Richa; 2010).
+// Networks" (Kuhn, Lynch, Newport, Oshman, Richa; 2010), built for
+// large-scale Monte Carlo experimentation.
 //
 // A network is a pair (G, G') of graphs over the same nodes with E ⊆ E':
 // G edges are reliable and always deliver, G' \ G edges are unreliable and a
 // per-round adversary decides whether they deliver. The package provides:
 //
 //   - the synchronous round-based execution model with collision rules
-//     CR1-CR4 and synchronous/asynchronous starts (Run, Config);
+//     CR1-CR4 and synchronous/asynchronous starts (Run, Config), with an
+//     allocation-free steady-state round loop;
+//   - a sharded, deterministic parallel trial engine (RunMany,
+//     EngineConfig) that fans independent trials out over a
+//     GOMAXPROCS-sized worker pool while guaranteeing bit-identical
+//     results at any worker count;
 //   - the paper's algorithms: deterministic Strong Select
 //     (O(n^{3/2} √log n), Section 5) and randomized Harmonic Broadcast
 //     (O(n log² n) w.h.p., Section 7), plus baselines (round robin, Decay,
@@ -18,12 +24,19 @@
 //   - executable lower bounds (Theorems 2, 4 and 12) and the
 //     explicit-interference reduction (Lemma 1).
 //
-// Quick start:
+// Single run:
 //
 //	net, err := dualgraph.Geometric(64, 0.25, 0.6, rng)
 //	alg, err := dualgraph.NewHarmonicForN(64, 0.01)
 //	res, err := dualgraph.Run(net, alg, dualgraph.GreedyCollider{}, dualgraph.Config{Seed: 1})
 //	fmt.Println(res.Rounds, res.Completed)
+//
+// Monte Carlo sweep over all CPUs — trial i's seed is a pure function of
+// (Config.Seed, i), so the result slice is reproducible regardless of
+// parallelism:
+//
+//	results, err := dualgraph.RunMany(net, alg, dualgraph.GreedyCollider{},
+//		dualgraph.Config{Seed: 1}, 10000, dualgraph.EngineConfig{})
 package dualgraph
 
 import (
@@ -31,6 +44,7 @@ import (
 
 	"dualgraph/internal/adversary"
 	"dualgraph/internal/core"
+	"dualgraph/internal/engine"
 	"dualgraph/internal/exhaustive"
 	"dualgraph/internal/graph"
 	"dualgraph/internal/interference"
@@ -95,6 +109,33 @@ const (
 // Run executes an algorithm against an adversary on a network.
 func Run(net *Network, alg Algorithm, adv Adversary, cfg Config) (*Result, error) {
 	return sim.Run(net, alg, adv, cfg)
+}
+
+// EngineConfig configures the parallel trial engine behind RunMany: worker
+// pool size and work batch size. The zero value runs one worker per logical
+// CPU. Neither setting ever changes results, only throughput.
+type EngineConfig = engine.Config
+
+// BufferedAdversary is the optional allocation-free delivery interface; see
+// sim.BufferedDeliverer. All built-in adversaries implement it except
+// Benign (deliberately map-only, since it delivers nothing and is the most
+// commonly embedded adversary); map-based third-party adversaries keep
+// working unchanged.
+type BufferedAdversary = sim.BufferedDeliverer
+
+// DeliverySink collects a round's unreliable deliveries for BufferedAdversary
+// implementations.
+type DeliverySink = sim.DeliverySink
+
+// RunMany executes trials independent runs of the same (net, alg, adv, cfg)
+// combination across a worker pool, returning results indexed by trial.
+// Trial i's seed is a SplitMix64-style mix of cfg.Seed and i — a pure
+// function of the trial index, so for a fixed cfg.Seed the returned slice
+// is bit-identical at any worker count, while different cfg.Seed values
+// yield statistically independent replications. On error it reports the
+// lowest-indexed failing trial.
+func RunMany(net *Network, alg Algorithm, adv Adversary, cfg Config, trials int, ec EngineConfig) ([]*Result, error) {
+	return engine.RunMany(net, alg, adv, cfg, trials, ec)
 }
 
 // Graph construction.

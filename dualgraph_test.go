@@ -99,3 +99,37 @@ func TestFacadeInterference(t *testing.T) {
 		t.Fatal("interference run did not complete")
 	}
 }
+
+func TestFacadeRunMany(t *testing.T) {
+	net, err := dualgraph.CliqueBridge(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := dualgraph.NewHarmonicForN(17, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dualgraph.Config{Seed: 5}
+	const trials = 16
+	seq, err := dualgraph.RunMany(net, alg, dualgraph.GreedyCollider{}, cfg, trials,
+		dualgraph.EngineConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := dualgraph.RunMany(net, alg, dualgraph.GreedyCollider{}, cfg, trials,
+		dualgraph.EngineConfig{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != trials || len(par) != trials {
+		t.Fatalf("got %d/%d results, want %d", len(seq), len(par), trials)
+	}
+	for i := range seq {
+		if !seq[i].Completed || !par[i].Completed {
+			t.Fatalf("trial %d incomplete", i)
+		}
+		if seq[i].Rounds != par[i].Rounds || seq[i].Transmissions != par[i].Transmissions {
+			t.Fatalf("trial %d: sequential and parallel runs diverged", i)
+		}
+	}
+}

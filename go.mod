@@ -1,0 +1,3 @@
+module dualgraph
+
+go 1.24

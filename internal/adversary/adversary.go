@@ -42,6 +42,11 @@ func (Benign) AssignProcs(d *graph.Dual, _ *rand.Rand) ([]int, error) {
 }
 
 // Deliver implements sim.Adversary: no unreliable edge ever delivers.
+//
+// Benign deliberately does NOT implement sim.BufferedDeliverer: its nil map
+// makes the compatibility shim free anyway, and Benign is the adversary most
+// commonly embedded by wrappers that override Deliver — an inherited
+// DeliverInto would silently shadow such overrides.
 func (Benign) Deliver(_ *sim.View, _ []graph.NodeID) map[graph.NodeID][]graph.NodeID {
 	return nil
 }
@@ -75,6 +80,15 @@ func (FullDelivery) Deliver(v *sim.View, senders []graph.NodeID) map[graph.NodeI
 		}
 	}
 	return out
+}
+
+// DeliverInto implements sim.BufferedDeliverer.
+func (FullDelivery) DeliverInto(v *sim.View, senders []graph.NodeID, sink *sim.DeliverySink) {
+	for _, s := range senders {
+		for _, t := range v.Dual.UnreliableOut(s) {
+			sink.Add(s, t)
+		}
+	}
 }
 
 // Resolve implements sim.Adversary: deliver the first reaching message.
@@ -126,6 +140,19 @@ func (a *Random) Deliver(v *sim.View, senders []graph.NodeID) map[graph.NodeID][
 		}
 	}
 	return out
+}
+
+// DeliverInto implements sim.BufferedDeliverer. It draws from v.Rng in the
+// same (sender, target) order as Deliver, so both paths produce identical
+// executions for a fixed seed.
+func (a *Random) DeliverInto(v *sim.View, senders []graph.NodeID, sink *sim.DeliverySink) {
+	for _, s := range senders {
+		for _, t := range v.Dual.UnreliableOut(s) {
+			if v.Rng.Float64() < a.P {
+				sink.Add(s, t)
+			}
+		}
+	}
 }
 
 // Resolve implements sim.Adversary: uniform among ⊥ and the messages.
@@ -189,6 +216,35 @@ func (GreedyCollider) Deliver(v *sim.View, senders []graph.NodeID) map[graph.Nod
 		}
 	}
 	return out
+}
+
+// DeliverInto implements sim.BufferedDeliverer with the same jamming policy
+// as Deliver, using the sink's scratch space instead of per-round maps.
+func (GreedyCollider) DeliverInto(v *sim.View, senders []graph.NodeID, sink *sim.DeliverySink) {
+	n := v.Dual.N()
+	reliableCount, reachedBy := sink.Scratch()
+	for _, s := range senders {
+		reliableCount[s]++
+		reachedBy[s] = s
+		for _, u := range v.Dual.ReliableOut(s) {
+			reliableCount[u]++
+			reachedBy[u] = s
+		}
+	}
+	for u := 0; u < n; u++ {
+		if v.HasMessage[u] || reliableCount[u] != 1 || v.Sent[u] {
+			continue
+		}
+		for _, s := range senders {
+			if s == reachedBy[u] {
+				continue
+			}
+			if hasUnreliableEdge(v.Dual, s, graph.NodeID(u)) {
+				sink.Add(s, graph.NodeID(u))
+				break
+			}
+		}
+	}
 }
 
 // Resolve implements sim.Adversary.
@@ -292,6 +348,32 @@ func (a *Theorem2) Deliver(v *sim.View, senders []graph.NodeID) map[graph.NodeID
 		// reliable edges already cover; no unreliable delivery.
 	}
 	return nil
+}
+
+// DeliverInto implements sim.BufferedDeliverer using the proof's three
+// rules, mirroring Deliver.
+func (a *Theorem2) DeliverInto(v *sim.View, senders []graph.NodeID, sink *sim.DeliverySink) {
+	n := v.Dual.N()
+	receiver := graph.ReceiverNode(n)
+	all := func() {
+		for _, s := range senders {
+			for _, t := range v.Dual.UnreliableOut(s) {
+				sink.Add(s, t)
+			}
+		}
+	}
+	if len(senders) > 1 {
+		all() // Rule 1: everything reaches everyone (⊤ everywhere).
+		return
+	}
+	if len(senders) == 1 {
+		s := senders[0]
+		if s == graph.BridgeNode || s == receiver {
+			all() // Rule 3: message reaches all processes.
+		}
+		// Rule 2: a lone clique sender reaches exactly the clique, which its
+		// reliable edges already cover; no unreliable delivery.
+	}
 }
 
 // Resolve implements sim.Adversary. Theorem 2 is proved under CR1 where

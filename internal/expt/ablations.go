@@ -41,7 +41,7 @@ func ablCollisionRules() Experiment {
 		}
 		for _, alg := range []sim.Algorithm{ss, h} {
 			for _, rule := range []sim.CollisionRule{sim.CR1, sim.CR2, sim.CR3, sim.CR4} {
-				med, _, done, err := medianRounds(d, alg, greedy(), sim.Config{
+				med, _, done, err := medianRounds(cfg.Engine, d, alg, greedy(), sim.Config{
 					Rule:      rule,
 					Start:     sim.AsyncStart,
 					MaxRounds: strongSelectBudget(d.N()) * 2,
@@ -91,7 +91,7 @@ func ablHarmonicT() Experiment {
 				return err
 			}
 			bound := int(2 * float64(n*paperT) * stats.HarmonicNumber(n))
-			med, _, done, err := medianRounds(d, alg, greedy(), sim.Config{
+			med, _, done, err := medianRounds(cfg.Engine, d, alg, greedy(), sim.Config{
 				Rule:      sim.CR4,
 				Start:     sim.AsyncStart,
 				MaxRounds: bound,
@@ -153,7 +153,7 @@ func ablAdversary() Experiment {
 		fmt.Fprintln(tw, "algorithm\tadversary\tmedian rounds\tcompleted")
 		for _, alg := range []sim.Algorithm{core.NewRoundRobin(), ss, h} {
 			for _, adv := range advs {
-				med, _, done, err := medianRounds(d, alg, adv, sim.Config{
+				med, _, done, err := medianRounds(cfg.Engine, d, alg, adv, sim.Config{
 					Rule:      sim.CR4,
 					Start:     sim.AsyncStart,
 					MaxRounds: strongSelectBudget(n) * 2,

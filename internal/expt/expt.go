@@ -3,6 +3,11 @@
 // figures and ablations. Each experiment has a stable ID used by
 // cmd/dgbench and by the benchmark suite; DESIGN.md carries the full
 // experiment index.
+//
+// All experiments fan their Monte Carlo trials and sweep cells out over the
+// parallel trial engine (internal/engine). Because every trial's seed is a
+// pure function of the experiment seed and the trial index, an experiment's
+// table is byte-identical at any worker count.
 package expt
 
 import (
@@ -14,6 +19,7 @@ import (
 
 	"dualgraph/internal/adversary"
 	"dualgraph/internal/core"
+	"dualgraph/internal/engine"
 	"dualgraph/internal/graph"
 	"dualgraph/internal/sim"
 	"dualgraph/internal/stats"
@@ -27,6 +33,10 @@ type Config struct {
 	Quick bool
 	// Seed drives all randomness.
 	Seed int64
+	// Engine configures the parallel trial engine used to fan out the
+	// experiment's simulations; the zero value uses one worker per CPU.
+	// Worker count never changes an experiment's output.
+	Engine engine.Config
 }
 
 // Experiment is one reproducible experiment.
@@ -88,27 +98,32 @@ func header(w io.Writer, e Experiment) {
 	fmt.Fprintf(w, "== %s — %s\n   paper: %s\n", e.ID, e.Title, e.PaperRef)
 }
 
-// medianRounds runs `trials` independent executions and returns the median
-// and maximum completion round. Executions that do not complete count as
-// maxRounds.
+// medianRounds fans `trials` independent executions out over the engine and
+// returns the median and maximum completion round. Executions that do not
+// complete count as maxRounds. Trial i's seed is cfg.Seed + i*104729, a pure
+// function of the trial index, so the aggregate is identical at any worker
+// count (and to the historical sequential loop).
 func medianRounds(
+	ec engine.Config,
 	d *graph.Dual,
 	alg sim.Algorithm,
 	adv sim.Adversary,
 	cfg sim.Config,
 	trials int,
 ) (median, maxRound float64, completed int, err error) {
-	rounds := make([]float64, 0, trials)
-	for i := 0; i < trials; i++ {
+	results, err := engine.Map(trials, ec, func(i int) (*sim.Result, error) {
 		c := cfg
 		c.Seed = cfg.Seed + int64(i)*104729
-		res, err := sim.Run(d, alg, adv, c)
-		if err != nil {
-			return 0, 0, 0, err
-		}
+		return sim.Run(d, alg, adv, c)
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	rounds := make([]float64, 0, trials)
+	for _, res := range results {
 		r := float64(res.Rounds)
 		if !res.Completed {
-			r = float64(c.MaxRounds)
+			r = float64(cfg.MaxRounds)
 		} else {
 			completed++
 		}

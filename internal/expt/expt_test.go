@@ -2,8 +2,13 @@ package expt
 
 import (
 	"bytes"
+	"strconv"
 	"strings"
 	"testing"
+
+	"dualgraph/internal/core"
+	"dualgraph/internal/engine"
+	"dualgraph/internal/sim"
 )
 
 func TestRegistryIDsUniqueAndSorted(t *testing.T) {
@@ -66,6 +71,101 @@ func minInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// TestExperimentOutputWorkerCountInvariant is the engine port's golden
+// guarantee: an experiment's rendered table must be byte-identical whether
+// its trials run on 1 worker or fan out over 8.
+func TestExperimentOutputWorkerCountInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	for _, id := range []string{"table1-dual-strongselect", "table2-dual-harmonic"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("%s must exist", id)
+		}
+		render := func(workers int) string {
+			var buf bytes.Buffer
+			err := e.Run(Config{
+				Out: &buf, Quick: true, Seed: 11,
+				Engine: engine.Config{Workers: workers},
+			})
+			if err != nil {
+				t.Fatalf("%s with %d workers: %v", id, workers, err)
+			}
+			return buf.String()
+		}
+		if seq, par := render(1), render(8); seq != par {
+			t.Fatalf("%s output differs between 1 and 8 workers:\n--- workers=1\n%s\n--- workers=8\n%s", id, seq, par)
+		}
+	}
+}
+
+// TestTable1RowMatchesSequentialReference recomputes the Table 1 classical
+// round-robin "line" rows with a plain sequential sim.Run loop and checks
+// the engine-rendered experiment reports exactly those numbers.
+func TestTable1RowMatchesSequentialReference(t *testing.T) {
+	seed := int64(11)
+	want := map[int]int{} // n -> rounds
+	for _, n := range sweepSizes(true) {
+		d, err := dualTopology("line", n, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(d, core.NewRoundRobin(), benign(), sim.Config{
+			Rule:  sim.CR3,
+			Start: sim.SyncStart,
+			Seed:  seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[n] = res.Rounds
+	}
+
+	e, ok := ByID("table1-classical-rr")
+	if !ok {
+		t.Fatal("table1-classical-rr must exist")
+	}
+	var buf bytes.Buffer
+	if err := e.Run(Config{Out: &buf, Quick: true, Seed: seed, Engine: engine.Config{Workers: 8}}); err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]int{}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 3 || fields[0] != "line" {
+			continue
+		}
+		n, err1 := strconv.Atoi(fields[1])
+		rounds, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		got[n] = rounds
+	}
+	for n, rounds := range want {
+		if got[n] != rounds {
+			t.Errorf("line n=%d: experiment reports %d rounds, sequential reference says %d", n, got[n], rounds)
+		}
+	}
+}
+
+// TestQuickEnginePathInShortMode keeps one cheap engine-backed experiment in
+// the -short test path, so even the fast CI lane exercises the fan-out.
+func TestQuickEnginePathInShortMode(t *testing.T) {
+	e, ok := ByID("fig-busy-rounds")
+	if !ok {
+		t.Fatal("fig-busy-rounds must exist")
+	}
+	var buf bytes.Buffer
+	if err := e.Run(Config{Out: &buf, Quick: true, Seed: 3, Engine: engine.Config{Workers: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "front-loaded") {
+		t.Fatalf("unexpected output:\n%s", buf.String())
+	}
 }
 
 func TestDualTopologyUnknown(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 
 	"dualgraph/internal/adversary"
 	"dualgraph/internal/core"
+	"dualgraph/internal/engine"
 	"dualgraph/internal/exhaustive"
 	"dualgraph/internal/graph"
 	"dualgraph/internal/linkest"
@@ -28,52 +29,71 @@ func extDeltaSelect() Experiment {
 		header(cfg.Out, e)
 		tw := newTable(cfg.Out)
 		fmt.Fprintln(tw, "topology\tn\tΔ(G')\tdelta-select rounds\tstrong-select rounds\twinner")
+		type job struct {
+			topo string
+			n    int
+		}
+		type row struct {
+			nn, delta, dsRounds, ssRounds int
+		}
+		var jobs []job
 		for _, topo := range []string{"line", "geometric", "clique-bridge"} {
 			for _, n := range sweepSizes(cfg.Quick)[:2] {
-				d, err := dualTopology(topo, n, cfg.Seed)
-				if err != nil {
-					return err
-				}
-				nn := d.N()
-				delta := d.GPrime().MaxInDegree()
-				ds, err := core.NewDeltaSelect(nn, delta)
-				if err != nil {
-					return err
-				}
-				ss, err := core.NewStrongSelect(nn)
-				if err != nil {
-					return err
-				}
-				budget := nn*ds.FamilySize() + strongSelectBudget(nn)
-				run := func(alg sim.Algorithm) (int, error) {
-					res, err := sim.Run(d, alg, greedy(), sim.Config{
-						Rule:      sim.CR4,
-						Start:     sim.AsyncStart,
-						MaxRounds: budget,
-						Seed:      cfg.Seed,
-					})
-					if err != nil {
-						return 0, err
-					}
-					if !res.Completed {
-						return budget, nil
-					}
-					return res.Rounds, nil
-				}
-				dsRounds, err := run(ds)
-				if err != nil {
-					return err
-				}
-				ssRounds, err := run(ss)
-				if err != nil {
-					return err
-				}
-				winner := "delta-select"
-				if ssRounds < dsRounds {
-					winner = "strong-select"
-				}
-				fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%s\n", topo, nn, delta, dsRounds, ssRounds, winner)
+				jobs = append(jobs, job{topo, n})
 			}
+		}
+		rows, err := engine.Map(len(jobs), cfg.Engine, func(i int) (row, error) {
+			j := jobs[i]
+			d, err := dualTopology(j.topo, j.n, cfg.Seed)
+			if err != nil {
+				return row{}, err
+			}
+			nn := d.N()
+			delta := d.GPrime().MaxInDegree()
+			ds, err := core.NewDeltaSelect(nn, delta)
+			if err != nil {
+				return row{}, err
+			}
+			ss, err := core.NewStrongSelect(nn)
+			if err != nil {
+				return row{}, err
+			}
+			budget := nn*ds.FamilySize() + strongSelectBudget(nn)
+			run := func(alg sim.Algorithm) (int, error) {
+				res, err := sim.Run(d, alg, greedy(), sim.Config{
+					Rule:      sim.CR4,
+					Start:     sim.AsyncStart,
+					MaxRounds: budget,
+					Seed:      cfg.Seed,
+				})
+				if err != nil {
+					return 0, err
+				}
+				if !res.Completed {
+					return budget, nil
+				}
+				return res.Rounds, nil
+			}
+			dsRounds, err := run(ds)
+			if err != nil {
+				return row{}, err
+			}
+			ssRounds, err := run(ss)
+			if err != nil {
+				return row{}, err
+			}
+			return row{nn: nn, delta: delta, dsRounds: dsRounds, ssRounds: ssRounds}, nil
+		})
+		if err != nil {
+			return err
+		}
+		for i, r := range rows {
+			winner := "delta-select"
+			if r.ssRounds < r.dsRounds {
+				winner = "strong-select"
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%s\n",
+				jobs[i].topo, r.nn, r.delta, r.dsRounds, r.ssRounds, winner)
 		}
 		return tw.Flush()
 	}
@@ -121,20 +141,28 @@ func extRepeatedBroadcast() Experiment {
 			return err
 		}
 		fmt.Fprintln(tw, "protocol\tmessages\trounds\tthroughput (msg/round)\ttransmissions")
-		for _, p := range []repeat.Protocol{seq, pipe, seqH, pipeH} {
-			res, err := repeat.Run(d, p, repeat.Config{
+		protocols := []repeat.Protocol{seq, pipe, seqH, pipeH}
+		results, err := engine.Map(len(protocols), cfg.Engine, func(i int) (*repeat.Result, error) {
+			res, err := repeat.Run(d, protocols[i], repeat.Config{
 				Messages:  m,
 				MaxRounds: 2 * m * harmonicBudget,
 				Seed:      cfg.Seed,
 				Adversary: repeat.Greedy,
 			})
 			if err != nil {
-				return err
+				return nil, err
 			}
 			if !res.Completed {
-				return fmt.Errorf("%s did not complete", p.Name())
+				return nil, fmt.Errorf("%s did not complete", protocols[i].Name())
 			}
-			fmt.Fprintf(tw, "%s\t%d\t%d\t%.4f\t%d\n", p.Name(), m, res.Rounds, res.Throughput, res.Transmissions)
+			return res, nil
+		})
+		if err != nil {
+			return err
+		}
+		for i, res := range results {
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%.4f\t%d\n",
+				protocols[i].Name(), m, res.Rounds, res.Throughput, res.Transmissions)
 		}
 		return tw.Flush()
 	}
@@ -160,40 +188,58 @@ func extLinkCulling() Experiment {
 			return err
 		}
 		fmt.Fprintln(tw, "probe delivery\tfalse positives\tprecision\ttreecast after betrayal\tstrong-select after betrayal")
-		for _, probeP := range []float64{0.0, 0.5, 0.95} {
+		probePs := []float64{0.0, 0.5, 0.95}
+		type row struct {
+			falsePositives int
+			precision      float64
+			treeRes, ssRes *sim.Result
+		}
+		rows, err := engine.Map(len(probePs), cfg.Engine, func(i int) (row, error) {
+			probeP := probePs[i]
 			s, err := linkest.Probe(d, probeP, 200, 0.75, cfg.Seed)
 			if err != nil {
-				return err
+				return row{}, err
 			}
 			culled, err := s.CulledDual()
 			if err != nil {
-				return err
+				return row{}, err
 			}
 			tc, err := core.NewTreeCast(culled.G(), culled.Source())
 			if err != nil {
-				return err
+				return row{}, err
 			}
 			resTree, err := sim.Run(d, tc, adversary.Benign{}, sim.Config{
 				Rule: sim.CR4, Start: sim.AsyncStart, MaxRounds: 4 * d.N(), Seed: cfg.Seed,
 			})
 			if err != nil {
-				return err
+				return row{}, err
 			}
 			ss, err := core.NewStrongSelect(d.N())
 			if err != nil {
-				return err
+				return row{}, err
 			}
 			resSS, err := sim.Run(d, ss, adversary.Benign{}, sim.Config{
 				Rule: sim.CR4, Start: sim.AsyncStart, MaxRounds: strongSelectBudget(d.N()), Seed: cfg.Seed,
 			})
 			if err != nil {
-				return err
+				return row{}, err
 			}
 			if !resSS.Completed {
-				return fmt.Errorf("strong select must survive the betrayal")
+				return row{}, fmt.Errorf("strong select must survive the betrayal")
 			}
+			return row{
+				falsePositives: s.FalsePositives,
+				precision:      s.Precision(),
+				treeRes:        resTree,
+				ssRes:          resSS,
+			}, nil
+		})
+		if err != nil {
+			return err
+		}
+		for i, r := range rows {
 			fmt.Fprintf(tw, "%.2f\t%d\t%.2f\t%s\t%s\n",
-				probeP, s.FalsePositives, s.Precision(), verdict(resTree), verdict(resSS))
+				probePs[i], r.falsePositives, r.precision, verdict(r.treeRes), verdict(r.ssRes))
 		}
 		if err := tw.Flush(); err != nil {
 			return err
@@ -224,38 +270,52 @@ func extBroadcastability() Experiment {
 		header(cfg.Out, e)
 		tw := newTable(cfg.Out)
 		fmt.Fprintln(tw, "topology\tn\texact k\tgreedy k\teccentricity\tstrong-select rounds\tgap")
-		for _, topo := range []string{"clique-bridge", "line", "complete-layered", "random"} {
+		topos := []string{"clique-bridge", "line", "complete-layered", "random"}
+		type row struct {
+			n, exactK, greedyK, ecc, ssRounds int
+		}
+		rows, err := engine.Map(len(topos), cfg.Engine, func(i int) (row, error) {
+			topo := topos[i]
 			d, err := dualTopology(topo, 17, cfg.Seed)
 			if err != nil {
-				return err
+				return row{}, err
 			}
 			exact, err := schedule.Exact(d)
 			if err != nil {
-				return err
+				return row{}, err
 			}
 			greedyS, err := schedule.Greedy(d)
 			if err != nil {
-				return err
+				return row{}, err
 			}
 			ss, err := core.NewStrongSelect(d.N())
 			if err != nil {
-				return err
+				return row{}, err
 			}
 			res, err := sim.Run(d, ss, greedy(), sim.Config{
 				Rule: sim.CR4, Start: sim.AsyncStart, MaxRounds: strongSelectBudget(d.N()), Seed: cfg.Seed,
 			})
 			if err != nil {
-				return err
+				return row{}, err
 			}
 			if !res.Completed {
-				return fmt.Errorf("%s: strong select incomplete", topo)
+				return row{}, fmt.Errorf("%s: strong select incomplete", topo)
 			}
 			if exact.Rounds() > greedyS.Rounds() {
-				return fmt.Errorf("%s: exact schedule longer than greedy", topo)
+				return row{}, fmt.Errorf("%s: exact schedule longer than greedy", topo)
 			}
+			return row{
+				n: d.N(), exactK: exact.Rounds(), greedyK: greedyS.Rounds(),
+				ecc: d.Eccentricity(), ssRounds: res.Rounds,
+			}, nil
+		})
+		if err != nil {
+			return err
+		}
+		for i, r := range rows {
 			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%.1fx\n",
-				topo, d.N(), exact.Rounds(), greedyS.Rounds(), d.Eccentricity(),
-				res.Rounds, float64(res.Rounds)/float64(exact.Rounds()))
+				topos[i], r.n, r.exactK, r.greedyK, r.ecc,
+				r.ssRounds, float64(r.ssRounds)/float64(r.exactK))
 		}
 		return tw.Flush()
 	}
@@ -275,43 +335,62 @@ func extExhaustive() Experiment {
 		header(cfg.Out, e)
 		tw := newTable(cfg.Out)
 		fmt.Fprintln(tw, "n\talgorithm\texhaustive worst\tgreedy heuristic\tthm2 game\tbranches")
+		type job struct {
+			n    int
+			kind algKind
+		}
+		type row struct {
+			name                             string
+			worst, heuristic, game, branches int
+		}
+		var jobs []job
 		for _, n := range []int{4, 5, 6} {
-			d, err := graph.CliqueBridge(n)
-			if err != nil {
-				return err
-			}
-			algs := []sim.Algorithm{core.NewRoundRobin()}
+			jobs = append(jobs, job{n, algRoundRobin})
 			if !cfg.Quick {
-				ss, err := core.NewStrongSelect(n)
-				if err != nil {
-					return err
-				}
-				algs = append(algs, ss)
+				jobs = append(jobs, job{n, algStrongSelect})
 			}
-			for _, alg := range algs {
-				search, err := exhaustive.Search(d, alg, exhaustive.Config{
-					Rule:    sim.CR1,
-					Horizon: 40 * n,
-				})
-				if err != nil {
-					return err
-				}
-				heuristic, err := sim.Run(d, alg, adversary.GreedyCollider{}, sim.Config{
-					Rule: sim.CR1, Start: sim.SyncStart, Seed: cfg.Seed,
-				})
-				if err != nil {
-					return err
-				}
-				game, err := lowerbound.RunTheorem2Game(n, alg, 0)
-				if err != nil {
-					return err
-				}
-				if search.WorstRounds < heuristic.Rounds {
-					return fmt.Errorf("exhaustive worst below heuristic for %s n=%d", alg.Name(), n)
-				}
-				fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%d\n",
-					n, alg.Name(), search.WorstRounds, heuristic.Rounds, game.ForcedRounds, search.Branches)
+		}
+		rows, err := engine.Map(len(jobs), cfg.Engine, func(i int) (row, error) {
+			j := jobs[i]
+			d, err := graph.CliqueBridge(j.n)
+			if err != nil {
+				return row{}, err
 			}
+			alg, err := buildAlg(j.kind, j.n)
+			if err != nil {
+				return row{}, err
+			}
+			search, err := exhaustive.Search(d, alg, exhaustive.Config{
+				Rule:    sim.CR1,
+				Horizon: 40 * j.n,
+			})
+			if err != nil {
+				return row{}, err
+			}
+			heuristic, err := sim.Run(d, alg, adversary.GreedyCollider{}, sim.Config{
+				Rule: sim.CR1, Start: sim.SyncStart, Seed: cfg.Seed,
+			})
+			if err != nil {
+				return row{}, err
+			}
+			game, err := lowerbound.RunTheorem2Game(j.n, alg, 0)
+			if err != nil {
+				return row{}, err
+			}
+			if search.WorstRounds < heuristic.Rounds {
+				return row{}, fmt.Errorf("exhaustive worst below heuristic for %s n=%d", alg.Name(), j.n)
+			}
+			return row{
+				name: alg.Name(), worst: search.WorstRounds, heuristic: heuristic.Rounds,
+				game: game.ForcedRounds, branches: search.Branches,
+			}, nil
+		})
+		if err != nil {
+			return err
+		}
+		for i, r := range rows {
+			fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%d\n",
+				jobs[i].n, r.name, r.worst, r.heuristic, r.game, r.branches)
 		}
 		if err := tw.Flush(); err != nil {
 			return err

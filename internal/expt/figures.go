@@ -5,12 +5,35 @@ import (
 	"reflect"
 
 	"dualgraph/internal/core"
+	"dualgraph/internal/engine"
 	"dualgraph/internal/graph"
 	"dualgraph/internal/interference"
 	"dualgraph/internal/sim"
 	"dualgraph/internal/ssf"
 	"dualgraph/internal/stats"
 )
+
+// algKind names the algorithm variants the figure jobs construct inside
+// their trials (each trial builds its own instance from the network size).
+type algKind int
+
+const (
+	algRoundRobin algKind = iota
+	algStrongSelect
+	algHarmonic
+)
+
+func buildAlg(kind algKind, n int) (sim.Algorithm, error) {
+	switch kind {
+	case algRoundRobin:
+		return core.NewRoundRobin(), nil
+	case algStrongSelect:
+		return core.NewStrongSelect(n)
+	case algHarmonic:
+		return mustHarmonic(n)
+	}
+	return nil, fmt.Errorf("unknown algorithm kind %d", kind)
+}
 
 // figSeparation measures the Section 1 separation claim: the same algorithm
 // on the same topology, classical (benign adversary and G = G') versus dual
@@ -26,6 +49,18 @@ func figSeparation() Experiment {
 		header(cfg.Out, e)
 		tw := newTable(cfg.Out)
 		fmt.Fprintln(tw, "n\talgorithm\tclassical rounds\tdual rounds\tdual/classical")
+		// Topologies and algorithms are deterministic in (n, seed): build
+		// them once per n and share the read-only values across jobs.
+		type job struct {
+			n               int
+			dual, classical *graph.Dual
+			alg             sim.Algorithm
+		}
+		type row struct {
+			name             string
+			cRounds, dRounds int
+		}
+		var jobs []job
 		for _, n := range sweepSizes(cfg.Quick) {
 			dual, err := dualTopology("clique-bridge", n, cfg.Seed)
 			if err != nil {
@@ -35,31 +70,37 @@ func figSeparation() Experiment {
 			if err != nil {
 				return err
 			}
-			ss, err := core.NewStrongSelect(n)
-			if err != nil {
-				return err
-			}
-			h, err := mustHarmonic(n)
-			if err != nil {
-				return err
-			}
-			for _, alg := range []sim.Algorithm{core.NewRoundRobin(), ss, h} {
-				budget := strongSelectBudget(n) * 4
-				resC, err := sim.Run(classical, alg, benign(), sim.Config{
-					Rule: sim.CR4, Start: sim.AsyncStart, MaxRounds: budget, Seed: cfg.Seed,
-				})
+			for _, kind := range []algKind{algRoundRobin, algStrongSelect, algHarmonic} {
+				alg, err := buildAlg(kind, n)
 				if err != nil {
 					return err
 				}
-				resD, err := sim.Run(dual, alg, greedy(), sim.Config{
-					Rule: sim.CR4, Start: sim.AsyncStart, MaxRounds: budget, Seed: cfg.Seed,
-				})
-				if err != nil {
-					return err
-				}
-				ratio := float64(resD.Rounds) / float64(maxI(resC.Rounds, 1))
-				fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%.2f\n", n, alg.Name(), resC.Rounds, resD.Rounds, ratio)
+				jobs = append(jobs, job{n: n, dual: dual, classical: classical, alg: alg})
 			}
+		}
+		rows, err := engine.Map(len(jobs), cfg.Engine, func(i int) (row, error) {
+			j := jobs[i]
+			budget := strongSelectBudget(j.n) * 4
+			resC, err := sim.Run(j.classical, j.alg, benign(), sim.Config{
+				Rule: sim.CR4, Start: sim.AsyncStart, MaxRounds: budget, Seed: cfg.Seed,
+			})
+			if err != nil {
+				return row{}, err
+			}
+			resD, err := sim.Run(j.dual, j.alg, greedy(), sim.Config{
+				Rule: sim.CR4, Start: sim.AsyncStart, MaxRounds: budget, Seed: cfg.Seed,
+			})
+			if err != nil {
+				return row{}, err
+			}
+			return row{name: j.alg.Name(), cRounds: resC.Rounds, dRounds: resD.Rounds}, nil
+		})
+		if err != nil {
+			return err
+		}
+		for i, r := range rows {
+			ratio := float64(r.dRounds) / float64(maxI(r.cRounds, 1))
+			fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%.2f\n", jobs[i].n, r.name, r.cRounds, r.dRounds, ratio)
 		}
 		return tw.Flush()
 	}
@@ -90,23 +131,46 @@ func figBusyRounds() Experiment {
 		if !cfg.Quick {
 			ns = append(ns, 128, 256)
 		}
+		patterns := []struct {
+			name string
+			mk   func(n int) []int
+		}{
+			{"front-loaded", core.FrontLoadedPattern},
+			{"simultaneous", core.SimultaneousPattern},
+			{"random", func(n int) []int { return randomPattern(n, cfg.Seed) }},
+		}
+		type job struct {
+			n       int
+			pattern int
+		}
+		type row struct {
+			busy  int
+			bound float64
+		}
+		var jobs []job
 		for _, n := range ns {
-			for _, p := range []struct {
-				name    string
-				pattern []int
-			}{
-				{"front-loaded", core.FrontLoadedPattern(n)},
-				{"simultaneous", core.SimultaneousPattern(n)},
-				{"random", randomPattern(n, cfg.Seed)},
-			} {
-				bound := float64(n*T) * stats.HarmonicNumber(n)
-				horizon := int(4*bound) + 100
-				busy := core.BusyRounds(p.pattern, T, horizon)
-				if float64(busy) > bound {
-					return fmt.Errorf("lemma 15 violated: pattern %s n=%d busy=%d bound=%.0f", p.name, n, busy, bound)
-				}
-				fmt.Fprintf(tw, "%s\t%d\t%d\t%.0f\t%.3f\n", p.name, n, busy, bound, float64(busy)/bound)
+			for pi := range patterns {
+				jobs = append(jobs, job{n, pi})
 			}
+		}
+		rows, err := engine.Map(len(jobs), cfg.Engine, func(i int) (row, error) {
+			j := jobs[i]
+			p := patterns[j.pattern]
+			bound := float64(j.n*T) * stats.HarmonicNumber(j.n)
+			horizon := int(4*bound) + 100
+			busy := core.BusyRounds(p.mk(j.n), T, horizon)
+			if float64(busy) > bound {
+				return row{}, fmt.Errorf("lemma 15 violated: pattern %s n=%d busy=%d bound=%.0f", p.name, j.n, busy, bound)
+			}
+			return row{busy: busy, bound: bound}, nil
+		})
+		if err != nil {
+			return err
+		}
+		for i, r := range rows {
+			j := jobs[i]
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%.0f\t%.3f\n",
+				patterns[j.pattern].name, j.n, r.busy, r.bound, float64(r.busy)/r.bound)
 		}
 		return tw.Flush()
 	}
@@ -138,30 +202,48 @@ func figSSFSize() Experiment {
 		if !cfg.Quick {
 			ns = append(ns, 4096, 16384)
 		}
+		type job struct {
+			n, k int
+		}
+		type row struct {
+			chosen, rs int
+			verified   string
+		}
+		var jobs []job
 		for _, n := range ns {
 			for _, k := range []int{2, 4, 8, 16} {
-				if k > n {
-					continue
+				if k <= n {
+					jobs = append(jobs, job{n, k})
 				}
-				chosen, err := ssf.New(n, k)
-				if err != nil {
-					return err
-				}
-				rs, err := ssf.NewReedSolomon(n, k)
-				if err != nil {
-					return err
-				}
-				verified := "spot-check"
-				if n <= 64 && k <= 3 {
-					if err := ssf.Verify(chosen, k); err != nil {
-						return fmt.Errorf("verification failed n=%d k=%d: %w", n, k, err)
-					}
-					verified = "exhaustive"
-				} else if err := ssf.VerifyRandom(chosen, k, 100, newRng(cfg.Seed)); err != nil {
-					return fmt.Errorf("spot verification failed n=%d k=%d: %w", n, k, err)
-				}
-				fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%s\n", n, k, chosen.Size(), n, rs.Size(), verified)
 			}
+		}
+		rows, err := engine.Map(len(jobs), cfg.Engine, func(i int) (row, error) {
+			j := jobs[i]
+			chosen, err := ssf.New(j.n, j.k)
+			if err != nil {
+				return row{}, err
+			}
+			rs, err := ssf.NewReedSolomon(j.n, j.k)
+			if err != nil {
+				return row{}, err
+			}
+			verified := "spot-check"
+			if j.n <= 64 && j.k <= 3 {
+				if err := ssf.Verify(chosen, j.k); err != nil {
+					return row{}, fmt.Errorf("verification failed n=%d k=%d: %w", j.n, j.k, err)
+				}
+				verified = "exhaustive"
+			} else if err := ssf.VerifyRandom(chosen, j.k, 100, newRng(cfg.Seed)); err != nil {
+				return row{}, fmt.Errorf("spot verification failed n=%d k=%d: %w", j.n, j.k, err)
+			}
+			return row{chosen: chosen.Size(), rs: rs.Size(), verified: verified}, nil
+		})
+		if err != nil {
+			return err
+		}
+		for i, r := range rows {
+			j := jobs[i]
+			fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%s\n", j.n, j.k, r.chosen, j.n, r.rs, r.verified)
 		}
 		return tw.Flush()
 	}
@@ -181,43 +263,65 @@ func figLemma1() Experiment {
 		header(cfg.Out, e)
 		tw := newTable(cfg.Out)
 		fmt.Fprintln(tw, "n\talgorithm\trule\tnative rounds\treduced rounds\ttranscripts equal")
+		type job struct {
+			n    int
+			m    *interference.Model
+			alg  sim.Algorithm
+			rule sim.CollisionRule
+		}
+		type row struct {
+			name             string
+			native, reduced  int
+			transcriptsEqual bool
+		}
+		// The topology, its interference model, and the algorithms are
+		// deterministic in (n, seed): build them once per n and share the
+		// read-only values across the six (alg, rule) jobs.
+		var jobs []job
 		for _, n := range []int{16, 32} {
 			d, err := dualTopology("random", n, cfg.Seed)
 			if err != nil {
 				return err
 			}
 			m := interference.FromDual(d)
-			ss, err := core.NewStrongSelect(n)
-			if err != nil {
-				return err
-			}
-			h, err := mustHarmonic(n)
-			if err != nil {
-				return err
-			}
-			for _, alg := range []sim.Algorithm{core.NewRoundRobin(), ss, h} {
+			for _, kind := range []algKind{algRoundRobin, algStrongSelect, algHarmonic} {
+				alg, err := buildAlg(kind, n)
+				if err != nil {
+					return err
+				}
 				for _, rule := range []sim.CollisionRule{sim.CR1, sim.CR4} {
-					c := sim.Config{
-						Rule: rule, Start: sim.AsyncStart,
-						MaxRounds: strongSelectBudget(n), Seed: cfg.Seed, RecordSenders: true,
-					}
-					native, err := interference.Run(m, alg, c)
-					if err != nil {
-						return err
-					}
-					reduced, err := sim.Run(m.Dual(), alg, interference.ReductionAdversary{}, c)
-					if err != nil {
-						return err
-					}
-					equal := reflect.DeepEqual(native.SendersByRound, reduced.SendersByRound) &&
-						reflect.DeepEqual(native.FirstReceive, reduced.FirstReceive)
-					if !equal {
-						return fmt.Errorf("lemma 1 reduction mismatch: n=%d alg=%s rule=%v", n, alg.Name(), rule)
-					}
-					fmt.Fprintf(tw, "%d\t%s\t%v\t%d\t%d\t%v\n",
-						n, alg.Name(), rule, native.Rounds, reduced.Rounds, equal)
+					jobs = append(jobs, job{n: n, m: m, alg: alg, rule: rule})
 				}
 			}
+		}
+		rows, err := engine.Map(len(jobs), cfg.Engine, func(i int) (row, error) {
+			j := jobs[i]
+			c := sim.Config{
+				Rule: j.rule, Start: sim.AsyncStart,
+				MaxRounds: strongSelectBudget(j.n), Seed: cfg.Seed, RecordSenders: true,
+			}
+			native, err := interference.Run(j.m, j.alg, c)
+			if err != nil {
+				return row{}, err
+			}
+			reduced, err := sim.Run(j.m.Dual(), j.alg, interference.ReductionAdversary{}, c)
+			if err != nil {
+				return row{}, err
+			}
+			equal := reflect.DeepEqual(native.SendersByRound, reduced.SendersByRound) &&
+				reflect.DeepEqual(native.FirstReceive, reduced.FirstReceive)
+			if !equal {
+				return row{}, fmt.Errorf("lemma 1 reduction mismatch: n=%d alg=%s rule=%v", j.n, j.alg.Name(), j.rule)
+			}
+			return row{name: j.alg.Name(), native: native.Rounds, reduced: reduced.Rounds, transcriptsEqual: equal}, nil
+		})
+		if err != nil {
+			return err
+		}
+		for i, r := range rows {
+			j := jobs[i]
+			fmt.Fprintf(tw, "%d\t%s\t%v\t%d\t%d\t%v\n",
+				j.n, r.name, j.rule, r.native, r.reduced, r.transcriptsEqual)
 		}
 		return tw.Flush()
 	}

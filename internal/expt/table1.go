@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"dualgraph/internal/core"
+	"dualgraph/internal/engine"
 	"dualgraph/internal/lowerbound"
 	"dualgraph/internal/sim"
 )
@@ -23,21 +24,25 @@ func table1ClassicalRR() Experiment {
 		tw := newTable(cfg.Out)
 		fmt.Fprintln(tw, "topology\tn\trounds\trounds/n")
 		for _, topo := range []string{"complete", "line", "tree"} {
-			var ns []int
-			var rounds []float64
-			for _, n := range sweepSizes(cfg.Quick) {
-				d, err := dualTopology(topo, n, cfg.Seed)
+			sizes := sweepSizes(cfg.Quick)
+			results, err := engine.Map(len(sizes), cfg.Engine, func(i int) (*sim.Result, error) {
+				d, err := dualTopology(topo, sizes[i], cfg.Seed)
 				if err != nil {
-					return err
+					return nil, err
 				}
-				res, err := sim.Run(d, core.NewRoundRobin(), benign(), sim.Config{
+				return sim.Run(d, core.NewRoundRobin(), benign(), sim.Config{
 					Rule:  sim.CR3,
 					Start: sim.SyncStart,
 					Seed:  cfg.Seed,
 				})
-				if err != nil {
-					return err
-				}
+			})
+			if err != nil {
+				return err
+			}
+			var ns []int
+			var rounds []float64
+			for i, res := range results {
+				n := sizes[i]
 				if !res.Completed {
 					return fmt.Errorf("%s n=%d: round robin did not complete", topo, n)
 				}
@@ -65,18 +70,20 @@ func table1DualStrongSelect() Experiment {
 		header(cfg.Out, e)
 		tw := newTable(cfg.Out)
 		fmt.Fprintln(tw, "topology\tn\trounds\trounds/n^1.5\tbound X")
+		type row struct {
+			nn, rounds, bound int
+		}
 		for _, topo := range []string{"clique-bridge", "complete-layered", "geometric"} {
-			var ns []int
-			var rounds []float64
-			for _, n := range sweepSizes(cfg.Quick) {
-				d, err := dualTopology(topo, n, cfg.Seed)
+			sizes := sweepSizes(cfg.Quick)
+			rows, err := engine.Map(len(sizes), cfg.Engine, func(i int) (row, error) {
+				d, err := dualTopology(topo, sizes[i], cfg.Seed)
 				if err != nil {
-					return err
+					return row{}, err
 				}
 				nn := d.N()
 				alg, err := core.NewStrongSelect(nn)
 				if err != nil {
-					return err
+					return row{}, err
 				}
 				bound := strongSelectBudget(nn)
 				res, err := sim.Run(d, alg, greedy(), sim.Config{
@@ -86,15 +93,23 @@ func table1DualStrongSelect() Experiment {
 					Seed:      cfg.Seed,
 				})
 				if err != nil {
-					return err
+					return row{}, err
 				}
 				if !res.Completed {
-					return fmt.Errorf("%s n=%d: strong select exceeded its budget %d", topo, nn, bound)
+					return row{}, fmt.Errorf("%s n=%d: strong select exceeded its budget %d", topo, nn, bound)
 				}
-				ns = append(ns, nn)
-				rounds = append(rounds, float64(res.Rounds))
-				norm := float64(res.Rounds) / math.Pow(float64(nn), 1.5)
-				fmt.Fprintf(tw, "%s\t%d\t%d\t%.3f\t%d\n", topo, nn, res.Rounds, norm, bound)
+				return row{nn: nn, rounds: res.Rounds, bound: bound}, nil
+			})
+			if err != nil {
+				return err
+			}
+			var ns []int
+			var rounds []float64
+			for _, r := range rows {
+				ns = append(ns, r.nn)
+				rounds = append(rounds, float64(r.rounds))
+				norm := float64(r.rounds) / math.Pow(float64(r.nn), 1.5)
+				fmt.Fprintf(tw, "%s\t%d\t%d\t%.3f\t%d\n", topo, r.nn, r.rounds, norm, r.bound)
 			}
 			fmt.Fprintf(tw, "%s\t\t\t%s\n", topo, fitLine(ns, rounds))
 		}
@@ -127,23 +142,30 @@ func table1Theorem2() Experiment {
 		if cfg.Quick {
 			sizes = []int{16, 32}
 		}
+		type job struct {
+			n   int
+			alg sim.Algorithm
+		}
+		var jobs []job
 		for _, n := range sizes {
-			algs := []sim.Algorithm{core.NewRoundRobin()}
 			ss, err := core.NewStrongSelect(n)
 			if err != nil {
 				return err
 			}
-			algs = append(algs, ss)
-			for _, alg := range algs {
-				res, err := lowerbound.RunTheorem2Game(n, alg, 0)
-				if err != nil {
-					return err
-				}
-				fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\n",
-					alg.Name(), n, res.ForcedRounds, n-3, res.WitnessRounds)
-				if res.ForcedRounds <= n-3 {
-					return fmt.Errorf("theorem 2 violated for %s at n=%d", alg.Name(), n)
-				}
+			jobs = append(jobs, job{n, core.NewRoundRobin()}, job{n, ss})
+		}
+		results, err := engine.Map(len(jobs), cfg.Engine, func(i int) (*lowerbound.Theorem2Result, error) {
+			return lowerbound.RunTheorem2Game(jobs[i].n, jobs[i].alg, 0)
+		})
+		if err != nil {
+			return err
+		}
+		for i, res := range results {
+			j := jobs[i]
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\n",
+				j.alg.Name(), j.n, res.ForcedRounds, j.n-3, res.WitnessRounds)
+			if res.ForcedRounds <= j.n-3 {
+				return fmt.Errorf("theorem 2 violated for %s at n=%d", j.alg.Name(), j.n)
 			}
 		}
 		return tw.Flush()
@@ -167,32 +189,40 @@ func table1Theorem12() Experiment {
 		if cfg.Quick {
 			sizes = []int{9, 17, 33}
 		}
+		type job struct {
+			n   int
+			alg sim.Algorithm
+		}
+		var jobs []job
 		for _, n := range sizes {
-			algs := []sim.Algorithm{core.NewRoundRobin()}
+			jobs = append(jobs, job{n, core.NewRoundRobin()})
 			if !cfg.Quick {
 				ss, err := core.NewStrongSelect(n)
 				if err != nil {
 					return err
 				}
-				algs = append(algs, ss)
+				jobs = append(jobs, job{n, ss})
 			}
-			for _, alg := range algs {
-				res, err := lowerbound.RunTheorem12Game(n, alg, 0)
-				if err != nil {
-					return err
+		}
+		results, err := engine.Map(len(jobs), cfg.Engine, func(i int) (*lowerbound.Theorem12Result, error) {
+			return lowerbound.RunTheorem12Game(jobs[i].n, jobs[i].alg, 0)
+		})
+		if err != nil {
+			return err
+		}
+		for i, res := range results {
+			j := jobs[i]
+			minExt := res.ForcedRounds
+			for _, ext := range res.StageExtensions {
+				if ext < minExt {
+					minExt = ext
 				}
-				minExt := res.ForcedRounds
-				for _, ext := range res.StageExtensions {
-					if ext < minExt {
-						minExt = ext
-					}
-				}
-				norm := float64(res.ForcedRounds) / (float64(n) * math.Log2(float64(n)))
-				fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.3f\t%d\n",
-					alg.Name(), n, res.ForcedRounds, res.TheoryBound, norm, minExt)
-				if !res.HitHorizon && res.ForcedRounds < res.TheoryBound {
-					return fmt.Errorf("theorem 12 bound violated for %s at n=%d", alg.Name(), n)
-				}
+			}
+			norm := float64(res.ForcedRounds) / (float64(j.n) * math.Log2(float64(j.n)))
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.3f\t%d\n",
+				j.alg.Name(), j.n, res.ForcedRounds, res.TheoryBound, norm, minExt)
+			if !res.HitHorizon && res.ForcedRounds < res.TheoryBound {
+				return fmt.Errorf("theorem 12 bound violated for %s at n=%d", j.alg.Name(), j.n)
 			}
 		}
 		return tw.Flush()

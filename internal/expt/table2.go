@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"dualgraph/internal/core"
+	"dualgraph/internal/engine"
 	"dualgraph/internal/lowerbound"
 	"dualgraph/internal/sim"
 	"dualgraph/internal/stats"
@@ -35,7 +36,7 @@ func table2ClassicalDecay() Experiment {
 				if err != nil {
 					return err
 				}
-				med, maxR, done, err := medianRounds(d, core.NewDecay(), benign(), sim.Config{
+				med, maxR, done, err := medianRounds(cfg.Engine, d, core.NewDecay(), benign(), sim.Config{
 					Rule:      sim.CR3,
 					Start:     sim.AsyncStart,
 					MaxRounds: 400 * n,
@@ -85,7 +86,7 @@ func table2DualHarmonic() Experiment {
 					return err
 				}
 				bound := int(2 * float64(nn*alg.T) * stats.HarmonicNumber(nn))
-				med, _, done, err := medianRounds(d, alg, greedy(), sim.Config{
+				med, _, done, err := medianRounds(cfg.Engine, d, alg, greedy(), sim.Config{
 					Rule:      sim.CR4,
 					Start:     sim.AsyncStart,
 					MaxRounds: bound,
@@ -128,7 +129,6 @@ func table2Theorem4() Experiment {
 			trials = 80
 		}
 		fmt.Fprintln(tw, "algorithm\tn\tk\tmin success\tbound k/(n-2)\trespects bound")
-		algs := []sim.Algorithm{}
 		h, err := core.NewHarmonicForN(n, 0.1)
 		if err != nil {
 			return err
@@ -137,19 +137,29 @@ func table2Theorem4() Experiment {
 		if err != nil {
 			return err
 		}
-		algs = append(algs, h, u)
-		for _, alg := range algs {
+		type job struct {
+			alg sim.Algorithm
+			k   int
+		}
+		var jobs []job
+		for _, alg := range []sim.Algorithm{h, u} {
 			for _, k := range []int{2, n / 3, n - 4} {
-				res, err := lowerbound.RunTheorem4(n, k, trials, alg, cfg.Seed)
-				if err != nil {
-					return err
-				}
-				// Allow 3-sigma Monte-Carlo slack.
-				slack := 3 * math.Sqrt(res.Bound*(1-res.Bound)/float64(trials))
-				ok := res.MinSuccess <= res.Bound+slack
-				fmt.Fprintf(tw, "%s\t%d\t%d\t%.3f\t%.3f\t%v\n",
-					alg.Name(), n, k, res.MinSuccess, res.Bound, ok)
+				jobs = append(jobs, job{alg, k})
 			}
+		}
+		results, err := engine.Map(len(jobs), cfg.Engine, func(i int) (*lowerbound.Theorem4Result, error) {
+			return lowerbound.RunTheorem4(n, jobs[i].k, trials, jobs[i].alg, cfg.Seed)
+		})
+		if err != nil {
+			return err
+		}
+		for i, res := range results {
+			j := jobs[i]
+			// Allow 3-sigma Monte-Carlo slack.
+			slack := 3 * math.Sqrt(res.Bound*(1-res.Bound)/float64(trials))
+			ok := res.MinSuccess <= res.Bound+slack
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%.3f\t%.3f\t%v\n",
+				j.alg.Name(), n, j.k, res.MinSuccess, res.Bound, ok)
 		}
 		return tw.Flush()
 	}

@@ -289,6 +289,27 @@ func (ReductionAdversary) Deliver(v *sim.View, senders []graph.NodeID) map[graph
 	return out
 }
 
+// DeliverInto implements sim.BufferedDeliverer with the same reduction rule
+// as Deliver, using the sink's scratch space for the G_T sender marks.
+func (ReductionAdversary) DeliverInto(v *sim.View, senders []graph.NodeID, sink *sim.DeliverySink) {
+	// gtSenders[u] != 0: some reliable (G_T) neighbour of u transmits, or u
+	// itself does.
+	gtSenders, _ := sink.Scratch()
+	for _, s := range senders {
+		gtSenders[s] = 1
+		for _, u := range v.Dual.ReliableOut(s) {
+			gtSenders[u] = 1
+		}
+	}
+	for _, s := range senders {
+		for _, u := range v.Dual.UnreliableOut(s) {
+			if gtSenders[u] != 0 {
+				sink.Add(s, u)
+			}
+		}
+	}
+}
+
 // Resolve implements sim.Adversary: CR4 collisions resolve to silence,
 // matching the native engine in this package.
 func (ReductionAdversary) Resolve(_ *sim.View, _ graph.NodeID, _ []graph.NodeID) graph.NodeID {

@@ -1,0 +1,50 @@
+package sim_test
+
+import (
+	"testing"
+
+	"dualgraph/internal/adversary"
+	"dualgraph/internal/core"
+	"dualgraph/internal/graph"
+	"dualgraph/internal/sim"
+)
+
+// TestRoundLoopAllocationFreeSteadyState guards the allocation-free delivery
+// path: executing 40x more rounds must not cost meaningfully more heap
+// allocations, because per-round state lives in preallocated run buffers.
+// Only run setup (processes, buffers, result) may allocate.
+func TestRoundLoopAllocationFreeSteadyState(t *testing.T) {
+	d, err := graph.CliqueBridge(33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := core.NewUniform(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure := func(rounds int) float64 {
+		return testing.AllocsPerRun(5, func() {
+			res, err := sim.Run(d, alg, adversary.GreedyCollider{}, sim.Config{
+				Rule:           sim.CR4,
+				Start:          sim.SyncStart,
+				Seed:           7,
+				MaxRounds:      rounds,
+				RunToMaxRounds: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = res
+		})
+	}
+	short := measure(2000)
+	long := measure(8000)
+	// The reaching lists grow to their steady-state capacity during early
+	// rounds; beyond that the round loop must not allocate. Allow a small
+	// slack for stragglers and runtime noise — the old map-based path cost
+	// several allocations per round, which over 6000 extra rounds would blow
+	// far past this bound.
+	if long > short+64 {
+		t.Fatalf("round loop allocates per round: %0.f allocs at 2000 rounds vs %0.f at 8000", short, long)
+	}
+}

@@ -177,10 +177,151 @@ type Adversary interface {
 	// out-neighbours its message reaches this round. Nodes absent from the
 	// map get no unreliable deliveries. Every returned neighbour must be an
 	// unreliable out-neighbour of the sender.
+	//
+	// Deliver is the compatibility entry point; the engine calls it only for
+	// adversaries that do not implement BufferedDeliverer, and applies the
+	// returned map in deterministic sender order.
 	Deliver(v *View, senders []graph.NodeID) map[graph.NodeID][]graph.NodeID
 	// Resolve picks the CR4 outcome for a non-sending node reached by two or
 	// more messages: NoDelivery for ⊥ or one of the reaching sender nodes.
 	Resolve(v *View, node graph.NodeID, reaching []graph.NodeID) graph.NodeID
+}
+
+// BufferedDeliverer is the allocation-free delivery fast path: instead of
+// returning a freshly allocated map every round, the adversary pushes each
+// unreliable delivery into the engine-owned DeliverySink. Run prefers this
+// interface when an adversary implements it; every built-in adversary does
+// except Benign, which stays map-only on purpose (it delivers nothing, so
+// the shim is already free, and it is the adversary most commonly embedded
+// by wrappers that override Deliver). Third-party adversaries that only
+// implement Adversary keep working through a shim around Deliver.
+//
+// Caveat for wrappers: embedding a built-in adversary inherits its
+// DeliverInto, so overriding Deliver alone will not change the deliveries —
+// override DeliverInto as well (or build on a plain Adversary).
+type BufferedDeliverer interface {
+	// DeliverInto records this round's unreliable deliveries via sink.Add.
+	// The same validity rules as Deliver apply: only senders may deliver,
+	// and only along edges of G' \ G.
+	DeliverInto(v *View, senders []graph.NodeID, sink *DeliverySink)
+}
+
+// DeliverySink collects one round's unreliable deliveries into the run's
+// preallocated reachability buffers. It validates every delivery exactly
+// like the map path and latches the first error.
+type DeliverySink struct {
+	d            *graph.Dual
+	sent         []bool
+	buf          *runBuffers
+	err          error
+	scratchInts  []int
+	scratchNodes []graph.NodeID
+}
+
+// Add records that sender s's message reaches v along the unreliable edge
+// (s, v) this round. Invalid deliveries (s did not send, or (s, v) is not an
+// edge of G' \ G) turn the run into an ErrBadDelivery failure.
+func (ds *DeliverySink) Add(s, v graph.NodeID) {
+	if ds.err != nil {
+		return
+	}
+	if !ds.sent[s] {
+		ds.err = fmt.Errorf("%w: node %d did not send", ErrBadDelivery, s)
+		return
+	}
+	if ds.d.G().HasEdge(s, v) || !ds.d.GPrime().HasEdge(s, v) {
+		ds.err = fmt.Errorf("%w: (%d,%d)", ErrBadDelivery, s, v)
+		return
+	}
+	ds.buf.addReaching(v, s)
+}
+
+// Scratch returns two zeroed n-length scratch slices that an adversary may
+// use freely within a single DeliverInto call; their contents do not survive
+// the call.
+func (ds *DeliverySink) Scratch() ([]int, []graph.NodeID) {
+	for i := range ds.scratchInts {
+		ds.scratchInts[i] = 0
+		ds.scratchNodes[i] = 0
+	}
+	return ds.scratchInts, ds.scratchNodes
+}
+
+// addFromMap is the compatibility shim for map-based Deliver
+// implementations. Map iteration order is randomized in Go, so it validates
+// the keys first and then applies deliveries in deterministic sender order —
+// the schedule of a run must never depend on map iteration.
+func (ds *DeliverySink) addFromMap(m map[graph.NodeID][]graph.NodeID, senders []graph.NodeID) {
+	if len(m) == 0 {
+		return
+	}
+	// Report the lowest offending node id so the error, too, is independent
+	// of map iteration order.
+	bad := graph.NodeID(-1)
+	for s := range m {
+		if !ds.sent[s] && (bad < 0 || s < bad) {
+			bad = s
+		}
+	}
+	if bad >= 0 {
+		ds.err = fmt.Errorf("%w: node %d did not send", ErrBadDelivery, bad)
+		return
+	}
+	for _, s := range senders {
+		for _, v := range m[s] {
+			ds.Add(s, v)
+		}
+	}
+}
+
+// runBuffers is the preallocated per-run state of the delivery hot path: the
+// per-node reaching lists, a []uint64 bitset marking the nodes reached this
+// round, and the reusable sender/holder slices. All of it is allocated once
+// per run; rounds only reset the entries they actually touched, so the
+// steady-state round loop performs no heap allocation.
+type runBuffers struct {
+	reaching   [][]graph.NodeID
+	touchedBit []uint64
+	touched    []graph.NodeID
+	senders    []graph.NodeID
+	newHolders []graph.NodeID
+}
+
+func newRunBuffers(n int) *runBuffers {
+	return &runBuffers{
+		reaching:   make([][]graph.NodeID, n),
+		touchedBit: make([]uint64, (n+63)/64),
+		touched:    make([]graph.NodeID, 0, n),
+		senders:    make([]graph.NodeID, 0, n),
+		newHolders: make([]graph.NodeID, 0, n),
+	}
+}
+
+// reset clears exactly the state the previous round touched.
+func (b *runBuffers) reset() {
+	for _, v := range b.touched {
+		b.touchedBit[v>>6] &^= 1 << (uint64(v) & 63)
+		b.reaching[v] = b.reaching[v][:0]
+	}
+	b.touched = b.touched[:0]
+	b.senders = b.senders[:0]
+	b.newHolders = b.newHolders[:0]
+}
+
+func (b *runBuffers) reached(v graph.NodeID) bool {
+	return b.touchedBit[v>>6]&(1<<(uint64(v)&63)) != 0
+}
+
+// addReaching appends sender s to v's reaching list, registering v in the
+// touched set on first contact so reset stays proportional to the round's
+// actual traffic.
+func (b *runBuffers) addReaching(v, s graph.NodeID) {
+	w, bit := v>>6, uint64(1)<<(uint64(v)&63)
+	if b.touchedBit[w]&bit == 0 {
+		b.touchedBit[w] |= bit
+		b.touched = append(b.touched, v)
+	}
+	b.reaching[v] = append(b.reaching[v], s)
 }
 
 // Config parameterizes a run.
@@ -308,21 +449,32 @@ func Run(d *graph.Dual, alg Algorithm, adv Adversary, cfg Config) (*Result, erro
 		Sent:       sent,
 		Rng:        advRng,
 	}
-	reaching := make([][]graph.NodeID, n)
+	buf := newRunBuffers(n)
+	sink := &DeliverySink{
+		d:            d,
+		sent:         sent,
+		buf:          buf,
+		scratchInts:  make([]int, n),
+		scratchNodes: make([]graph.NodeID, n),
+	}
+	// Resolve the fast path once: the type assertion must not sit in the
+	// round loop.
+	buffered, _ := adv.(BufferedDeliverer)
 
 	holders := 1
 	for round := 1; round <= cfg.MaxRounds; round++ {
 		view.Round = round
+		buf.reset()
 		for i := range sent {
 			sent[i] = false
 		}
-		var senders []graph.NodeID
 		for node := 0; node < n; node++ {
 			if active[node] && procs[node].Decide(round) {
 				sent[node] = true
-				senders = append(senders, graph.NodeID(node))
+				buf.senders = append(buf.senders, graph.NodeID(node))
 			}
 		}
+		senders := buf.senders
 		res.Transmissions += len(senders)
 		if cfg.RecordSenders {
 			pids := make([]int, len(senders))
@@ -332,40 +484,41 @@ func Run(d *graph.Dual, alg Algorithm, adv Adversary, cfg Config) (*Result, erro
 			res.SendersByRound = append(res.SendersByRound, pids)
 		}
 
-		for i := range reaching {
-			reaching[i] = reaching[i][:0]
-		}
+		// Reliable reachability pass: a sender's message reaches itself and
+		// every reliable out-neighbour unconditionally.
 		for _, s := range senders {
-			reaching[s] = append(reaching[s], s)
+			buf.addReaching(s, s)
 			for _, v := range d.ReliableOut(s) {
-				reaching[v] = append(reaching[v], s)
+				buf.addReaching(v, s)
 			}
 		}
+		// Unreliable deliveries: adversary's choice, validated by the sink.
 		if len(senders) > 0 {
-			delivered := adv.Deliver(view, senders)
-			for s, targets := range delivered {
-				if !sent[s] {
-					return nil, fmt.Errorf("%w: node %d did not send", ErrBadDelivery, s)
-				}
-				for _, v := range targets {
-					if d.G().HasEdge(s, v) || !d.GPrime().HasEdge(s, v) {
-						return nil, fmt.Errorf("%w: (%d,%d)", ErrBadDelivery, s, v)
-					}
-					reaching[v] = append(reaching[v], s)
-				}
+			sink.err = nil
+			if buffered != nil {
+				buffered.DeliverInto(view, senders, sink)
+			} else {
+				sink.addFromMap(adv.Deliver(view, senders), senders)
+			}
+			if sink.err != nil {
+				return nil, sink.err
 			}
 		}
 
 		// senderHadMsg is evaluated against the start-of-round holder set;
 		// hasMsg is only updated after all receptions are computed.
-		newHolders := make([]graph.NodeID, 0, 4)
 		for node := 0; node < n; node++ {
-			rec, err := computeReception(cfg.Rule, adv, view, graph.NodeID(node), sent[node], reaching[node], procOf, hasMsg)
+			if !active[node] && !buf.reached(graph.NodeID(node)) {
+				// An inactive node that nothing reached hears silence and
+				// cannot wake: skip it entirely.
+				continue
+			}
+			rec, err := computeReception(cfg.Rule, adv, view, graph.NodeID(node), sent[node], buf.reaching[node], procOf, hasMsg)
 			if err != nil {
 				return nil, err
 			}
 			if rec.Kind == Delivered && rec.Broadcast && !rec.Own && !hasMsg[node] {
-				newHolders = append(newHolders, graph.NodeID(node))
+				buf.newHolders = append(buf.newHolders, graph.NodeID(node))
 			}
 			switch {
 			case active[node]:
@@ -378,7 +531,7 @@ func Run(d *graph.Dual, alg Algorithm, adv Adversary, cfg Config) (*Result, erro
 				procs[node].Receive(round, rec)
 			}
 		}
-		for _, node := range newHolders {
+		for _, node := range buf.newHolders {
 			hasMsg[node] = true
 			firstRecv[node] = round
 			holders++

@@ -292,11 +292,20 @@ func TestUnreliableEdgeOnlyDeliversWhenAdversaryAllows(t *testing.T) {
 	}
 }
 
-// badDeliveryAdversary delivers along a reliable edge, which the engine must
-// reject.
-type badDeliveryAdversary struct{ adversary.Benign }
+// badDeliveryAdversary delivers along a reliable edge through the map-based
+// Deliver interface (it deliberately does not implement BufferedDeliverer,
+// so it exercises the compatibility shim), which the engine must reject.
+type badDeliveryAdversary struct{}
 
 func (badDeliveryAdversary) Name() string { return "bad-delivery" }
+
+func (badDeliveryAdversary) AssignProcs(d *graph.Dual, rng *rand.Rand) ([]int, error) {
+	return adversary.Benign{}.AssignProcs(d, rng)
+}
+
+func (badDeliveryAdversary) Resolve(_ *sim.View, _ graph.NodeID, _ []graph.NodeID) graph.NodeID {
+	return sim.NoDelivery
+}
 
 func (badDeliveryAdversary) Deliver(v *sim.View, senders []graph.NodeID) map[graph.NodeID][]graph.NodeID {
 	if len(senders) == 0 {
@@ -314,6 +323,58 @@ func TestEngineRejectsInvalidDelivery(t *testing.T) {
 	d := mustLine(t, 3)
 	alg := newScriptAlg(map[int]map[int]bool{1: {1: true}}, false)
 	_, err := sim.Run(d, alg, badDeliveryAdversary{}, sim.Config{MaxRounds: 1, Seed: 1})
+	if !errors.Is(err, sim.ErrBadDelivery) {
+		t.Fatalf("want ErrBadDelivery, got %v", err)
+	}
+}
+
+// badSinkAdversary pushes the same invalid delivery through the buffered
+// fast path; the sink must reject it identically.
+type badSinkAdversary struct{ badDeliveryAdversary }
+
+func (badSinkAdversary) Name() string { return "bad-sink" }
+
+func (badSinkAdversary) DeliverInto(v *sim.View, senders []graph.NodeID, sink *sim.DeliverySink) {
+	if len(senders) == 0 {
+		return
+	}
+	s := senders[0]
+	if outs := v.Dual.ReliableOut(s); len(outs) > 0 {
+		sink.Add(s, outs[0])
+	}
+}
+
+func TestSinkRejectsInvalidDelivery(t *testing.T) {
+	d := mustLine(t, 3)
+	alg := newScriptAlg(map[int]map[int]bool{1: {1: true}}, false)
+	_, err := sim.Run(d, alg, badSinkAdversary{}, sim.Config{MaxRounds: 1, Seed: 1})
+	if !errors.Is(err, sim.ErrBadDelivery) {
+		t.Fatalf("want ErrBadDelivery, got %v", err)
+	}
+}
+
+// nonSenderDeliveryAdversary returns a map entry for a node that did not
+// transmit, which the shim must reject.
+type nonSenderDeliveryAdversary struct{ badDeliveryAdversary }
+
+func (nonSenderDeliveryAdversary) Name() string { return "non-sender-delivery" }
+
+func (nonSenderDeliveryAdversary) Deliver(v *sim.View, senders []graph.NodeID) map[graph.NodeID][]graph.NodeID {
+	if len(senders) == 0 {
+		return nil
+	}
+	for node := 0; node < v.Dual.N(); node++ {
+		if !v.Sent[node] {
+			return map[graph.NodeID][]graph.NodeID{graph.NodeID(node): nil}
+		}
+	}
+	return nil
+}
+
+func TestEngineRejectsNonSenderDelivery(t *testing.T) {
+	d := mustLine(t, 3)
+	alg := newScriptAlg(map[int]map[int]bool{1: {1: true}}, false)
+	_, err := sim.Run(d, alg, nonSenderDeliveryAdversary{}, sim.Config{MaxRounds: 1, Seed: 1})
 	if !errors.Is(err, sim.ErrBadDelivery) {
 		t.Fatalf("want ErrBadDelivery, got %v", err)
 	}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-short race bench-smoke ci
+.PHONY: all build vet fmt-check test test-short race bench-smoke bench-json ci
 
 all: build
 
@@ -29,13 +29,24 @@ test-short:
 	$(GO) test -short ./...
 
 # Race job scoped to the concurrent core: the trial engine and the simulator
-# it drives.
+# it drives. -short skips the single-threaded 100k-node stress sim, which the
+# race instrumentation would slow ~10x without exercising any concurrency.
 race:
-	$(GO) test -race ./internal/engine/... ./internal/sim/...
+	$(GO) test -race -short ./internal/engine/... ./internal/sim/...
 
 # A fast benchmark pass: the engine speedup pair and the allocation-free
 # round loop, a few iterations each.
 bench-smoke:
 	$(GO) test -run NONE -bench 'BenchmarkEngine|BenchmarkSimRoundLoop' -benchtime 3x .
+
+# The perf-trajectory artifact: hot-path and graph-layer benchmarks parsed
+# into BENCH_pr2.json (benchmark name -> ns/op, B/op, allocs/op, custom
+# metrics). CI uploads the file so the trend is comparable across PRs.
+bench-json:
+	$(GO) test -run NONE -bench 'BenchmarkEngine|BenchmarkSimRoundLoop' -benchmem -benchtime 3x . > bench_raw.txt
+	$(GO) test -run NONE -bench 'BenchmarkGraphConstruction|BenchmarkUnreliableMembership|BenchmarkGeometricBuild100k|BenchmarkPreferentialAttachmentBuild100k' -benchmem -benchtime 3x ./internal/graph/ >> bench_raw.txt
+	$(GO) run ./cmd/benchjson < bench_raw.txt > BENCH_pr2.json
+	@rm -f bench_raw.txt
+	@echo "wrote BENCH_pr2.json"
 
 ci: build vet fmt-check test race

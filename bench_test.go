@@ -185,7 +185,7 @@ func BenchmarkSeparation(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	classical, err := graph.Classical(dual.G(), dual.Source())
+	classical, err := graph.ClassicalFrozen(dual.G(), dual.Source())
 	if err != nil {
 		b.Fatal(err)
 	}

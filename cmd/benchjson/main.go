@@ -1,0 +1,83 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// object mapping benchmark name to its measured metrics, for CI artifacts
+// that track the performance trajectory across PRs:
+//
+//	go test -run NONE -bench . -benchmem . | benchjson > BENCH.json
+//
+// Standard metrics (ns/op, B/op, allocs/op) and custom ReportMetric values
+// (e.g. rounds, trials/op) are all captured.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses benchmark lines and writes the JSON report. Non-benchmark
+// lines (headers, PASS/ok trailers) are ignored.
+func run(r io.Reader, w io.Writer) error {
+	results := map[string]map[string]float64{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		name, metrics, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if _, seen := results[name]; !seen {
+			order = append(order, name)
+		}
+		results[name] = metrics
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	ordered := make([]map[string]any, 0, len(order))
+	for _, name := range order {
+		ordered = append(ordered, map[string]any{"name": name, "metrics": results[name]})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{"benchmarks": ordered})
+}
+
+// parseLine handles one `Benchmark<Name>-P  N  <value> <unit> ...` line.
+func parseLine(line string) (string, map[string]float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the GOMAXPROCS suffix so names are machine-independent.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", nil, false
+	}
+	metrics := map[string]float64{"iterations": float64(iters)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		value, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		metrics[fields[i+1]] = value
+	}
+	return name, metrics, true
+}

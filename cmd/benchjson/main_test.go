@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	name, metrics, ok := parseLine("BenchmarkSimRoundLoop-8   \t     100\t  11922420 ns/op\t 1468550 B/op\t      37 allocs/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if name != "BenchmarkSimRoundLoop" {
+		t.Fatalf("name = %q", name)
+	}
+	want := map[string]float64{"iterations": 100, "ns/op": 11922420, "B/op": 1468550, "allocs/op": 37}
+	for k, v := range want {
+		if metrics[k] != v {
+			t.Fatalf("metrics[%q] = %v, want %v", k, metrics[k], v)
+		}
+	}
+}
+
+func TestParseLineCustomMetric(t *testing.T) {
+	name, metrics, ok := parseLine("BenchmarkTable1DualStrongSelect/n=33-4  12  93812 ns/op  410.0 rounds")
+	if !ok || name != "BenchmarkTable1DualStrongSelect/n=33" {
+		t.Fatalf("name = %q ok = %v", name, ok)
+	}
+	if metrics["rounds"] != 410 {
+		t.Fatalf("rounds = %v", metrics["rounds"])
+	}
+}
+
+func TestIgnoresNonBenchmarkLines(t *testing.T) {
+	for _, line := range []string{"goos: linux", "PASS", "ok  \tdualgraph\t2.1s", ""} {
+		if _, _, ok := parseLine(line); ok {
+			t.Fatalf("line %q wrongly recognized", line)
+		}
+	}
+}
+
+func TestRunEmitsValidJSON(t *testing.T) {
+	in := `goos: linux
+BenchmarkA-8    10    100 ns/op    5 B/op    1 allocs/op
+BenchmarkB/n=3-8    20    200 ns/op
+PASS
+`
+	var sb strings.Builder
+	if err := run(strings.NewReader(in), &sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Benchmarks []struct {
+			Name    string             `json:"name"`
+			Metrics map[string]float64 `json:"metrics"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	if doc.Benchmarks[0].Name != "BenchmarkA" || doc.Benchmarks[0].Metrics["ns/op"] != 100 {
+		t.Fatalf("unexpected first entry: %+v", doc.Benchmarks[0])
+	}
+	if doc.Benchmarks[1].Name != "BenchmarkB/n=3" || doc.Benchmarks[1].Metrics["ns/op"] != 200 {
+		t.Fatalf("unexpected second entry: %+v", doc.Benchmarks[1])
+	}
+}

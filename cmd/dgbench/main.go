@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -16,13 +17,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "dgbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("dgbench", flag.ContinueOnError)
 	var (
 		id      = fs.String("experiment", "all", "experiment id, 'all', or 'list'")
@@ -34,7 +35,7 @@ func run(args []string) error {
 		return err
 	}
 	cfg := expt.Config{
-		Out:    os.Stdout,
+		Out:    w,
 		Quick:  *quick,
 		Seed:   *seed,
 		Engine: engine.Config{Workers: *workers},
@@ -43,13 +44,13 @@ func run(args []string) error {
 	switch *id {
 	case "list":
 		for _, e := range expt.All() {
-			fmt.Printf("%-26s %s\n", e.ID, e.Title)
+			fmt.Fprintf(w, "%-26s %s\n", e.ID, e.Title)
 		}
 		return nil
 	case "all":
 		for i, e := range expt.All() {
 			if i > 0 {
-				fmt.Println()
+				fmt.Fprintln(w)
 			}
 			if err := e.Run(cfg); err != nil {
 				return fmt.Errorf("%s: %w", e.ID, err)

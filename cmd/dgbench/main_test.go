@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runOutput(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return sb.String()
+}
+
+func TestListIncludesEveryExperiment(t *testing.T) {
+	out := runOutput(t, "-experiment", "list")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 15 {
+		t.Fatalf("experiment list suspiciously short: %d lines", len(lines))
+	}
+	for _, id := range []string{"table1-classical-rr", "table2-dual-harmonic", "fig-ssf-size", "ext-pref-attach"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("experiment %q missing from list:\n%s", id, out)
+		}
+	}
+}
+
+func TestSSFExperimentGolden(t *testing.T) {
+	out := runOutput(t, "-experiment", "fig-ssf-size", "-quick", "-seed", "1")
+	lines := strings.Split(out, "\n")
+	want := []string{
+		"== fig-ssf-size — strongly selective family sizes: Kautz-Singleton vs round robin",
+		"   paper: Section 5, Definition 6, Theorem 7, constructive note [19]",
+	}
+	for i, w := range want {
+		if i >= len(lines) || lines[i] != w {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], w)
+		}
+	}
+	if !strings.Contains(out, "kautz-singleton") {
+		t.Fatalf("table body missing:\n%s", out)
+	}
+}
+
+func TestUnknownExperimentFails(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-experiment", "nope"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("want unknown-experiment error, got %v", err)
+	}
+}

@@ -9,19 +9,20 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"dualgraph"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "dglower:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("dglower", flag.ContinueOnError)
 	var (
 		game    = fs.String("game", "thm2", "lower-bound game: thm2|thm4|thm12")
@@ -45,10 +46,10 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("Theorem 2 game: n=%d alg=%s\n", *n, alg.Name())
-		fmt.Printf("  forced rounds: %d (bound: > n-3 = %d)\n", res.ForcedRounds, *n-3)
-		fmt.Printf("  worst bridge process: %d\n", res.WorstBridgePid)
-		fmt.Printf("  2-broadcastability witness: %d rounds\n", res.WitnessRounds)
+		fmt.Fprintf(w, "Theorem 2 game: n=%d alg=%s\n", *n, alg.Name())
+		fmt.Fprintf(w, "  forced rounds: %d (bound: > n-3 = %d)\n", res.ForcedRounds, *n-3)
+		fmt.Fprintf(w, "  worst bridge process: %d\n", res.WorstBridgePid)
+		fmt.Fprintf(w, "  2-broadcastability witness: %d rounds\n", res.WitnessRounds)
 		return nil
 
 	case "thm12":
@@ -60,11 +61,11 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("Theorem 12 game: n=%d alg=%s\n", *n, alg.Name())
-		fmt.Printf("  forced rounds: %d (theory bound: %d)\n", res.ForcedRounds, res.TheoryBound)
-		fmt.Printf("  stages: %d/%d, extensions: %v\n", res.StagesCompleted, res.StagesPlanned, res.StageExtensions)
+		fmt.Fprintf(w, "Theorem 12 game: n=%d alg=%s\n", *n, alg.Name())
+		fmt.Fprintf(w, "  forced rounds: %d (theory bound: %d)\n", res.ForcedRounds, res.TheoryBound)
+		fmt.Fprintf(w, "  stages: %d/%d, extensions: %v\n", res.StagesCompleted, res.StagesPlanned, res.StageExtensions)
 		if res.HitHorizon {
-			fmt.Println("  note: a stage hit the horizon; the algorithm failed to keep isolating")
+			fmt.Fprintln(w, "  note: a stage hit the horizon; the algorithm failed to keep isolating")
 		}
 		return nil
 
@@ -90,9 +91,9 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("Theorem 4 Monte-Carlo: n=%d k=%d trials=%d alg=%s\n", *n, budget, *trials, alg.Name())
-		fmt.Printf("  min success probability: %.3f (worst bridge pid %d)\n", res.MinSuccess, res.WorstBridgePid)
-		fmt.Printf("  Theorem 4 bound k/(n-2): %.3f\n", res.Bound)
+		fmt.Fprintf(w, "Theorem 4 Monte-Carlo: n=%d k=%d trials=%d alg=%s\n", *n, budget, *trials, alg.Name())
+		fmt.Fprintf(w, "  min success probability: %.3f (worst bridge pid %d)\n", res.MinSuccess, res.WorstBridgePid)
+		fmt.Fprintf(w, "  Theorem 4 bound k/(n-2): %.3f\n", res.Bound)
 		return nil
 	}
 	return fmt.Errorf("unknown game %q", *game)

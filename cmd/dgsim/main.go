@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -20,16 +21,16 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "dgsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("dgsim", flag.ContinueOnError)
 	var (
-		topo      = fs.String("topo", "clique-bridge", "topology: clique-bridge|complete-layered|line|star|complete|tree|grid|random|geometric")
+		topo      = fs.String("topo", "clique-bridge", "topology: clique-bridge|complete-layered|line|star|complete|tree|grid|random|geometric|pa")
 		n         = fs.Int("n", 33, "network size")
 		algName   = fs.String("alg", "harmonic", "algorithm: strong-select|harmonic|round-robin|decay|uniform")
 		advName   = fs.String("adv", "greedy", "adversary: benign|random|greedy|full")
@@ -76,20 +77,20 @@ func run(args []string) error {
 		return fmt.Errorf("trials must be >= 1, got %d", *trials)
 	}
 	if *trials > 1 {
-		return runMany(net, alg, adv, cfg, *topo, *rule, *start, *seed, *trials, *workers)
+		return runMany(w, net, alg, adv, cfg, *topo, *rule, *start, *seed, *trials, *workers)
 	}
 
 	res, err := dualgraph.Run(net, alg, adv, cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("topology=%s n=%d alg=%s adversary=%s rule=CR%d start=%s seed=%d\n",
+	fmt.Fprintf(w, "topology=%s n=%d alg=%s adversary=%s rule=CR%d start=%s seed=%d\n",
 		*topo, net.N(), alg.Name(), adv.Name(), *rule, *start, *seed)
-	fmt.Printf("completed=%v rounds=%d transmissions=%d eccentricity=%d\n",
+	fmt.Fprintf(w, "completed=%v rounds=%d transmissions=%d eccentricity=%d\n",
 		res.Completed, res.Rounds, res.Transmissions, net.Eccentricity())
 	if *verbose {
 		for node, r := range res.FirstReceive {
-			fmt.Printf("  node %3d (pid %3d): first receive round %d\n", node, res.ProcOf[node], r)
+			fmt.Fprintf(w, "  node %3d (pid %3d): first receive round %d\n", node, res.ProcOf[node], r)
 		}
 	}
 	return nil
@@ -97,7 +98,7 @@ func run(args []string) error {
 
 // runMany executes a Monte Carlo sweep through the parallel trial engine
 // and prints aggregate round statistics.
-func runMany(net *dualgraph.Network, alg dualgraph.Algorithm, adv dualgraph.Adversary,
+func runMany(w io.Writer, net *dualgraph.Network, alg dualgraph.Algorithm, adv dualgraph.Adversary,
 	cfg dualgraph.Config, topo string, rule int, start string, seed int64, trials, workers int) error {
 	results, err := dualgraph.RunMany(net, alg, adv, cfg, trials, dualgraph.EngineConfig{Workers: workers})
 	if err != nil {
@@ -115,9 +116,9 @@ func runMany(net *dualgraph.Network, alg dualgraph.Algorithm, adv dualgraph.Adve
 	}
 	sort.Ints(rounds)
 	pct := func(q float64) int { return rounds[int(q*float64(len(rounds)-1))] }
-	fmt.Printf("topology=%s n=%d alg=%s adversary=%s rule=CR%d start=%s seed=%d trials=%d\n",
+	fmt.Fprintf(w, "topology=%s n=%d alg=%s adversary=%s rule=CR%d start=%s seed=%d trials=%d\n",
 		topo, net.N(), alg.Name(), adv.Name(), rule, start, seed, trials)
-	fmt.Printf("completed=%d/%d rounds: min=%d p50=%d p90=%d p99=%d max=%d mean-transmissions=%.1f\n",
+	fmt.Fprintf(w, "completed=%d/%d rounds: min=%d p50=%d p90=%d p99=%d max=%d mean-transmissions=%.1f\n",
 		completed, trials, rounds[0], pct(0.50), pct(0.90), pct(0.99),
 		rounds[len(rounds)-1], float64(totalTx)/float64(trials))
 	return nil
@@ -148,6 +149,8 @@ func buildTopology(name string, n int, seed int64) (*dualgraph.Network, error) {
 		return dualgraph.RandomDual(n, 0.12, 0.35, rng)
 	case "geometric":
 		return dualgraph.Geometric(n, 0.28, 0.7, rng)
+	case "pa":
+		return dualgraph.PreferentialAttachment(n, 3, 0.5, rng)
 	}
 	return nil, fmt.Errorf("unknown topology %q", name)
 }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// runLines invokes the command's run path and returns its output lines.
+func runLines(t *testing.T, args ...string) []string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+}
+
+func TestSingleTrialGolden(t *testing.T) {
+	lines := runLines(t,
+		"-topo", "line", "-n", "8", "-alg", "round-robin", "-adv", "benign",
+		"-rule", "3", "-start", "sync", "-seed", "1")
+	want := []string{
+		"topology=line n=8 alg=round-robin adversary=benign rule=CR3 start=sync seed=1",
+		"completed=true rounds=7 transmissions=7 eccentricity=7",
+	}
+	for i, w := range want {
+		if i >= len(lines) || lines[i] != w {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], w)
+		}
+	}
+}
+
+func TestMultiTrialGolden(t *testing.T) {
+	// The aggregate line is identical at any -workers value; pin workers=2 to
+	// exercise the parallel path deterministically.
+	lines := runLines(t,
+		"-topo", "clique-bridge", "-n", "9", "-alg", "harmonic", "-adv", "greedy",
+		"-trials", "8", "-seed", "2", "-workers", "2")
+	want := []string{
+		"topology=clique-bridge n=9 alg=harmonic(T=74) adversary=greedy-collider rule=CR4 start=async seed=2 trials=8",
+		"completed=8/8 rounds: min=85 p50=144 p90=187 p99=187 max=234 mean-transmissions=863.8",
+	}
+	for i, w := range want {
+		if i >= len(lines) || lines[i] != w {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], w)
+		}
+	}
+}
+
+func TestPreferentialAttachmentTopology(t *testing.T) {
+	lines := runLines(t, "-topo", "pa", "-n", "16", "-alg", "harmonic", "-adv", "greedy", "-seed", "5")
+	if want := "topology=pa n=16 alg=harmonic(T=81) adversary=greedy-collider rule=CR4 start=async seed=5"; lines[0] != want {
+		t.Fatalf("line 0 = %q, want %q", lines[0], want)
+	}
+	if !strings.HasPrefix(lines[1], "completed=true ") {
+		t.Fatalf("pa broadcast did not complete: %q", lines[1])
+	}
+}
+
+func TestVerboseListsEveryNode(t *testing.T) {
+	lines := runLines(t,
+		"-topo", "line", "-n", "5", "-alg", "round-robin", "-adv", "benign",
+		"-rule", "3", "-start", "sync", "-seed", "1", "-v")
+	if got, want := len(lines), 2+5; got != want {
+		t.Fatalf("verbose output has %d lines, want %d", got, want)
+	}
+	if want := "  node   0 (pid   1): first receive round 0"; lines[2] != want {
+		t.Fatalf("first node line = %q, want %q", lines[2], want)
+	}
+}
+
+func TestUnknownTopologyFails(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-topo", "nope"}, &sb); err == nil {
+		t.Fatal("expected error for unknown topology")
+	}
+}

@@ -18,9 +18,13 @@
 //     (O(n^{3/2} √log n), Section 5) and randomized Harmonic Broadcast
 //     (O(n log² n) w.h.p., Section 7), plus baselines (round robin, Decay,
 //     uniform);
-//   - adversaries from benign to adaptive worst-case;
+//   - adversaries from benign to adaptive worst-case, programmed against a
+//     frozen CSR dual-graph core whose unreliable arcs carry dense EdgeIDs
+//     (Network.UnreliableEdges) for O(log d) membership and bitset-coded
+//     per-round delivery strategies;
 //   - topology generators (clique+bridge, complete layered, grids with
-//     gray-zone links, random and geometric duals, ...);
+//     gray-zone links, random, geometric and preferential-attachment duals,
+//     ...) that scale to 100k+ nodes;
 //   - executable lower bounds (Theorems 2, 4 and 12) and the
 //     explicit-interference reduction (Lemma 1).
 //
@@ -60,7 +64,15 @@ import (
 type (
 	// NodeID identifies a node (0..n-1).
 	NodeID = graph.NodeID
-	// Graph is a directed or undirected simple graph.
+	// EdgeID identifies one unreliable arc of a Network. Ids are dense
+	// (0..NumUnreliable()-1) and stable in (from, to) order; see
+	// Network.UnreliableEdges for the adversary-facing index.
+	EdgeID = graph.EdgeID
+	// GraphBuilder accumulates edges during construction; Freeze compacts
+	// it into an immutable CSR Graph.
+	GraphBuilder = graph.Builder
+	// Graph is an immutable directed or undirected simple graph in
+	// compressed-sparse-row form, produced by GraphBuilder.Freeze.
 	Graph = graph.Graph
 	// Network is a dual-graph network (G, G') with a distinguished source.
 	Network = graph.Dual
@@ -140,10 +152,16 @@ func RunMany(net *Network, alg Algorithm, adv Adversary, cfg Config, trials int,
 
 // Graph construction.
 var (
-	// NewGraph returns an empty n-node graph.
+	// NewGraph returns an empty n-node graph builder (historical name of
+	// NewGraphBuilder).
 	NewGraph = graph.NewGraph
-	// NewNetwork validates and assembles a dual graph network (G, G').
+	// NewGraphBuilder returns an empty n-node graph builder.
+	NewGraphBuilder = graph.NewBuilder
+	// NewNetwork validates and assembles a dual graph network (G, G') from
+	// two builders, freezing both.
 	NewNetwork = graph.NewDual
+	// NewNetworkGraphs assembles a network from already-frozen graphs.
+	NewNetworkGraphs = graph.NewDualGraphs
 	// Classical wraps a single graph as the network (G, G).
 	Classical = graph.Classical
 )
@@ -168,8 +186,12 @@ var (
 	// RandomDual is a random connected G plus random unreliable edges.
 	RandomDual = graph.RandomDual
 	// Geometric is a unit-square placement with reliable short links and
-	// unreliable longer ones.
+	// unreliable longer ones; cell-bucketed construction scales it to
+	// 100k+ nodes.
 	Geometric = graph.Geometric
+	// PreferentialAttachment is a scale-free Barabási–Albert dual graph
+	// with a tunable unreliable fraction on the attachment links.
+	PreferentialAttachment = graph.PreferentialAttachment
 	// DirectedLayered is a directed layered dual graph.
 	DirectedLayered = graph.DirectedLayered
 	// LayeredRandom is an undirected layered dual graph with given layer

@@ -209,7 +209,7 @@ func (GreedyCollider) Deliver(v *sim.View, senders []graph.NodeID) map[graph.Nod
 			if s == reachedBy[u] {
 				continue
 			}
-			if hasUnreliableEdge(v.Dual, s, graph.NodeID(u)) {
+			if v.Dual.HasUnreliableEdge(s, graph.NodeID(u)) {
 				out[s] = append(out[s], graph.NodeID(u))
 				break
 			}
@@ -239,7 +239,7 @@ func (GreedyCollider) DeliverInto(v *sim.View, senders []graph.NodeID, sink *sim
 			if s == reachedBy[u] {
 				continue
 			}
-			if hasUnreliableEdge(v.Dual, s, graph.NodeID(u)) {
+			if v.Dual.HasUnreliableEdge(s, graph.NodeID(u)) {
 				sink.Add(s, graph.NodeID(u))
 				break
 			}
@@ -255,10 +255,6 @@ func (GreedyCollider) Resolve(v *sim.View, _ graph.NodeID, reaching []graph.Node
 		}
 	}
 	return sim.NoDelivery
-}
-
-func hasUnreliableEdge(d *graph.Dual, from, to graph.NodeID) bool {
-	return d.GPrime().HasEdge(from, to) && !d.G().HasEdge(from, to)
 }
 
 // ErrWrongTopology is returned when a proof-specific adversary is used on a

@@ -10,12 +10,12 @@ import (
 
 func TestNewTreeCastValidation(t *testing.T) {
 	g := graph.NewGraph(1, false)
-	if _, err := NewTreeCast(g, 0); err == nil {
+	if _, err := NewTreeCast(g.Freeze(), 0); err == nil {
 		t.Fatal("expected error for n=1")
 	}
 	g = graph.NewGraph(4, false)
 	g.MustAddEdge(0, 1)
-	if _, err := NewTreeCast(g, 9); err == nil {
+	if _, err := NewTreeCast(g.Freeze(), 9); err == nil {
 		t.Fatal("expected error for out-of-range source")
 	}
 }
@@ -26,7 +26,7 @@ func TestTreeCastBFSSlots(t *testing.T) {
 	for u := 0; u+1 < 4; u++ {
 		g.MustAddEdge(graph.NodeID(u), graph.NodeID(u+1))
 	}
-	tc, err := NewTreeCast(g, 0)
+	tc, err := NewTreeCast(g.Freeze(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func TestTreeCastUnreachableNodesSilent(t *testing.T) {
 	g := graph.NewGraph(4, true)
 	g.MustAddEdge(0, 1)
 	g.MustAddEdge(1, 2)
-	tc, err := NewTreeCast(g, 0)
+	tc, err := NewTreeCast(g.Freeze(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,10 +10,13 @@
 // (such as adversary.GreedyCollider) can be validated against the true
 // worst case it finds.
 //
-// The search replays executions from round 1 for every expansion, so the
-// algorithm must be deterministic (it must ignore its rng); the per-round
-// branching is deduplicated by reception signature, which keeps the tree
-// small on the paper's constructions.
+// A per-round adversary strategy is a subset of the round's deliverable
+// unreliable arcs, represented as a bitset over the dual's dense EdgeID
+// index; scripts are replayed through the engine's allocation-free edge-id
+// sink. The search replays executions from round 1 for every expansion, so
+// the algorithm must be deterministic (it must ignore its rng); the
+// per-round branching is deduplicated by reception signature, which keeps
+// the tree small on the paper's constructions.
 package exhaustive
 
 import (
@@ -41,7 +44,8 @@ type Config struct {
 	MaxBranches int
 	// MaxArcsPerRound caps the number of deliverable unreliable arcs
 	// enumerated in one round (2^arcs subsets); beyond it the search fails
-	// rather than silently truncating.
+	// rather than silently truncating. It is capped at 62 so a round's
+	// strategy always fits one edge-id bitset word.
 	MaxArcsPerRound int
 }
 
@@ -60,6 +64,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxArcsPerRound == 0 {
 		c.MaxArcsPerRound = 16
+	}
+	if c.MaxArcsPerRound > 62 {
+		c.MaxArcsPerRound = 62
 	}
 	return c
 }
@@ -111,13 +118,17 @@ type searcher struct {
 	branches int
 }
 
-// scriptedAdversary replays a fixed delivery script; rounds beyond the
-// script deliver nothing.
+// scriptedAdversary replays a fixed per-round script of unreliable edge
+// ids; rounds beyond the script deliver nothing.
 type scriptedAdversary struct {
-	script [][]Arc
+	d      *graph.Dual
+	script [][]graph.EdgeID
 }
 
-var _ sim.Adversary = (*scriptedAdversary)(nil)
+var (
+	_ sim.Adversary         = (*scriptedAdversary)(nil)
+	_ sim.BufferedDeliverer = (*scriptedAdversary)(nil)
+)
 
 func (scriptedAdversary) Name() string { return "scripted" }
 
@@ -134,10 +145,22 @@ func (a *scriptedAdversary) Deliver(v *sim.View, _ []graph.NodeID) map[graph.Nod
 		return nil
 	}
 	out := make(map[graph.NodeID][]graph.NodeID)
-	for _, arc := range a.script[v.Round-1] {
-		out[arc.From] = append(out[arc.From], arc.To)
+	for _, id := range a.script[v.Round-1] {
+		from, to := a.d.UnreliableEdge(id)
+		out[from] = append(out[from], to)
 	}
 	return out
+}
+
+// DeliverInto implements sim.BufferedDeliverer: scripted edge ids feed the
+// sink's direct-index entry point, so replays allocate nothing per round.
+func (a *scriptedAdversary) DeliverInto(v *sim.View, _ []graph.NodeID, sink *sim.DeliverySink) {
+	if v.Round > len(a.script) {
+		return
+	}
+	for _, id := range a.script[v.Round-1] {
+		sink.AddEdgeID(id)
+	}
 }
 
 func (a *scriptedAdversary) Resolve(_ *sim.View, _ graph.NodeID, _ []graph.NodeID) graph.NodeID {
@@ -146,8 +169,8 @@ func (a *scriptedAdversary) Resolve(_ *sim.View, _ graph.NodeID, _ []graph.NodeI
 
 // replay runs the algorithm under the given script for exactly `rounds`
 // rounds and returns the transcript.
-func (s *searcher) replay(script [][]Arc, rounds int) (*sim.Result, error) {
-	return sim.Run(s.d, s.alg, &scriptedAdversary{script: script}, sim.Config{
+func (s *searcher) replay(script [][]graph.EdgeID, rounds int) (*sim.Result, error) {
+	return sim.Run(s.d, s.alg, &scriptedAdversary{d: s.d, script: script}, sim.Config{
 		Rule:           s.cfg.Rule,
 		Start:          s.cfg.Start,
 		MaxRounds:      rounds,
@@ -158,7 +181,7 @@ func (s *searcher) replay(script [][]Arc, rounds int) (*sim.Result, error) {
 }
 
 // explore extends the script by one round in every inequivalent way.
-func (s *searcher) explore(script [][]Arc, res *Result) error {
+func (s *searcher) explore(script [][]graph.EdgeID, res *Result) error {
 	s.branches++
 	if s.branches > s.cfg.MaxBranches {
 		return ErrBudgetExceeded
@@ -177,7 +200,7 @@ func (s *searcher) explore(script [][]Arc, res *Result) error {
 	if complete {
 		if completionRound > res.WorstRounds {
 			res.WorstRounds = completionRound
-			res.WorstDeliveries = cloneScript(script)
+			res.WorstDeliveries = s.decodeScript(script)
 		}
 		return nil
 	}
@@ -185,31 +208,33 @@ func (s *searcher) explore(script [][]Arc, res *Result) error {
 		res.AllComplete = false
 		if s.cfg.Horizon+1 > res.WorstRounds {
 			res.WorstRounds = s.cfg.Horizon + 1
-			res.WorstDeliveries = cloneScript(script)
+			res.WorstDeliveries = s.decodeScript(script)
 		}
 		return nil
 	}
 
 	senders := sendersAsNodes(run, depth+1)
-	arcs := s.deliverableArcs(senders)
-	if len(arcs) > s.cfg.MaxArcsPerRound {
-		return fmt.Errorf("%w: %d arcs at round %d (cap %d)", ErrTooManyArcs, len(arcs), depth+1, s.cfg.MaxArcsPerRound)
+	edges := s.deliverableEdges(senders)
+	if len(edges) > s.cfg.MaxArcsPerRound {
+		return fmt.Errorf("%w: %d arcs at round %d (cap %d)", ErrTooManyArcs, len(edges), depth+1, s.cfg.MaxArcsPerRound)
 	}
 
 	holders := holdersEntering(run, depth)
 	seen := map[string]bool{}
-	for mask := 0; mask < 1<<len(arcs); mask++ {
-		choice := make([]Arc, 0, len(arcs))
-		for i, arc := range arcs {
-			if mask&(1<<i) != 0 {
-				choice = append(choice, arc)
-			}
-		}
-		sig := s.receptionSignature(senders, choice, holders)
+	for mask := uint64(0); mask < 1<<len(edges); mask++ {
+		// The strategy is the edge-id bitset `mask` over this round's
+		// deliverable arcs; materialize it only when it survives dedup.
+		sig := s.receptionSignature(senders, edges, mask, holders)
 		if seen[sig] {
 			continue
 		}
 		seen[sig] = true
+		choice := make([]graph.EdgeID, 0, len(edges))
+		for i, id := range edges {
+			if mask&(1<<uint(i)) != 0 {
+				choice = append(choice, id)
+			}
+		}
 		next := append(cloneScript(script), choice)
 		if err := s.explore(next, res); err != nil {
 			return err
@@ -258,23 +283,41 @@ func holdersEntering(run *sim.Result, rounds int) []bool {
 	return holders
 }
 
-// deliverableArcs lists the unreliable arcs available to the senders, in a
-// deterministic order.
-func (s *searcher) deliverableArcs(senders []graph.NodeID) []Arc {
-	var arcs []Arc
+// deliverableEdges lists the ids of the unreliable arcs available to the
+// senders. Ids are emitted in ascending order: senders arrive sorted and
+// each sender's fringe row is a contiguous ascending id range.
+func (s *searcher) deliverableEdges(senders []graph.NodeID) []graph.EdgeID {
+	var edges []graph.EdgeID
 	for _, snd := range senders {
-		for _, t := range s.d.UnreliableOut(snd) {
-			arcs = append(arcs, Arc{From: snd, To: t})
+		base, targets := s.d.UnreliableEdges(snd)
+		for i := range targets {
+			edges = append(edges, base+graph.EdgeID(i))
 		}
 	}
-	return arcs
+	return edges
 }
 
-// receptionSignature summarizes the observable outcome of a delivery choice:
-// per node, the reception kind and (for deliveries) the sending node and its
-// holder status. Choices with equal signatures lead to identical algorithm
-// states and need exploring only once.
-func (s *searcher) receptionSignature(senders []graph.NodeID, choice []Arc, holders []bool) string {
+// decodeScript expands a per-round edge-id script into (from, to) arcs for
+// the public result.
+func (s *searcher) decodeScript(script [][]graph.EdgeID) [][]Arc {
+	out := make([][]Arc, len(script))
+	for r, round := range script {
+		arcs := make([]Arc, len(round))
+		for i, id := range round {
+			from, to := s.d.UnreliableEdge(id)
+			arcs[i] = Arc{From: from, To: to}
+		}
+		out[r] = arcs
+	}
+	return out
+}
+
+// receptionSignature summarizes the observable outcome of a delivery choice
+// (the bitset `mask` over `edges`): per node, the reception kind and (for
+// deliveries) the sending node and its holder status. Choices with equal
+// signatures lead to identical algorithm states and need exploring only
+// once.
+func (s *searcher) receptionSignature(senders []graph.NodeID, edges []graph.EdgeID, mask uint64, holders []bool) string {
 	n := s.d.N()
 	reaching := make([][]graph.NodeID, n)
 	isSender := make([]bool, n)
@@ -285,8 +328,11 @@ func (s *searcher) receptionSignature(senders []graph.NodeID, choice []Arc, hold
 			reaching[v] = append(reaching[v], snd)
 		}
 	}
-	for _, arc := range choice {
-		reaching[arc.To] = append(reaching[arc.To], arc.From)
+	for i, id := range edges {
+		if mask&(1<<uint(i)) != 0 {
+			from, to := s.d.UnreliableEdge(id)
+			reaching[to] = append(reaching[to], from)
+		}
 	}
 	sig := make([]byte, 0, 2*n)
 	for node := 0; node < n; node++ {
@@ -334,10 +380,10 @@ func (s *searcher) receptionByte(node graph.NodeID, isSender bool, reaching []gr
 	}
 }
 
-func cloneScript(script [][]Arc) [][]Arc {
-	out := make([][]Arc, len(script))
+func cloneScript(script [][]graph.EdgeID) [][]graph.EdgeID {
+	out := make([][]graph.EdgeID, len(script))
 	for i, round := range script {
-		out[i] = append([]Arc(nil), round...)
+		out[i] = append([]graph.EdgeID(nil), round...)
 	}
 	return out
 }

@@ -117,7 +117,17 @@ func TestSearchWorstScriptReplays(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run, err := sim.Run(d, alg, &scriptedAdversary{script: res.WorstDeliveries}, sim.Config{
+	script := make([][]graph.EdgeID, len(res.WorstDeliveries))
+	for r, arcs := range res.WorstDeliveries {
+		for _, arc := range arcs {
+			id, ok := d.UnreliableEdgeID(arc.From, arc.To)
+			if !ok {
+				t.Fatalf("worst script contains non-unreliable arc (%d,%d)", arc.From, arc.To)
+			}
+			script[r] = append(script[r], id)
+		}
+	}
+	run, err := sim.Run(d, alg, &scriptedAdversary{d: d, script: script}, sim.Config{
 		Rule:      sim.CR1,
 		Start:     sim.SyncStart,
 		MaxRounds: 30,

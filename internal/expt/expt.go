@@ -69,6 +69,7 @@ func All() []Experiment {
 		ablHarmonicT(),
 		ablAdversary(),
 		extDeltaSelect(),
+		extPreferentialAttachment(),
 		extRepeatedBroadcast(),
 		extLinkCulling(),
 		extBroadcastability(),

@@ -66,7 +66,7 @@ func figSeparation() Experiment {
 			if err != nil {
 				return err
 			}
-			classical, err := graph.Classical(dual.G(), dual.Source())
+			classical, err := graph.ClassicalFrozen(dual.G(), dual.Source())
 			if err != nil {
 				return err
 			}

@@ -1,40 +1,199 @@
-// Package graph provides directed and undirected graphs and the dual-graph
-// network model (G, G') from "Broadcasting in Unreliable Radio Networks"
-// (Kuhn, Lynch, Newport, Oshman, Richa; 2010). G holds the reliable links and
-// G' ⊇ G holds all links; edges in G' \ G are unreliable and controlled by an
-// adversary during simulation.
+// Package graph provides the dual-graph network model (G, G') from
+// "Broadcasting in Unreliable Radio Networks" (Kuhn, Lynch, Newport, Oshman,
+// Richa; 2010). G holds the reliable links and G' ⊇ G holds all links; edges
+// in G' \ G are unreliable and controlled by an adversary during simulation.
+//
+// The package splits graph life into two stages:
+//
+//   - a mutable Builder accumulates edges during topology construction
+//     (AddEdge appends to a flat arc log; duplicates are tolerated and
+//     removed on freeze);
+//   - Freeze compacts the log into an immutable Graph in compressed sparse
+//     row (CSR) form — flat offsets/targets arrays with every adjacency row
+//     sorted — giving cache-friendly O(1) row iteration and O(log d)
+//     HasEdge.
+//
+// A Dual holds three frozen CSR cores: G, G', and the unreliable fringe
+// G' \ G. Every arc of the fringe has a dense, stable EdgeID (ids are
+// assigned in (from, to) lexicographic order), so adversaries and the
+// exhaustive searcher can name per-round delivery choices as edge-id sets
+// instead of (from, to) pairs.
 package graph
 
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // NodeID identifies a graph node. Nodes of an n-node graph are 0..n-1.
-type NodeID int
+// It is 32-bit so frozen adjacency rows are flat []int32 arrays.
+type NodeID int32
 
-type edge struct {
-	from, to NodeID
+// EdgeID identifies one directed unreliable arc of a Dual. IDs are dense
+// (0..NumUnreliable()-1) and stable for the lifetime of the Dual: id order
+// is (from, to) lexicographic order over the fringe G' \ G.
+type EdgeID int32
+
+// packArc packs a directed arc into one word for the Builder's arc log.
+func packArc(u, v NodeID) uint64 { return uint64(uint32(u))<<32 | uint64(uint32(v)) }
+
+func unpackArc(a uint64) (u, v NodeID) { return NodeID(a >> 32), NodeID(uint32(a)) }
+
+// Builder is the mutable construction stage of a graph over nodes 0..n-1.
+// An undirected Builder records both orientations of every edge. AddEdge is
+// an O(1) append; duplicate edges are deduplicated at Freeze time (or
+// eagerly once HasEdge/NumEdges has forced the lookup index).
+type Builder struct {
+	n        int
+	directed bool
+	arcs     []uint64
+	// lookup is built lazily on the first HasEdge/NumEdges call; once it
+	// exists, AddEdge keeps it current and stops appending duplicates.
+	lookup map[uint64]struct{}
 }
 
-// Graph is a simple directed or undirected graph over nodes 0..n-1.
-// An undirected Graph stores both orientations of every edge.
+// NewBuilder returns an empty builder for a graph with n nodes.
+func NewBuilder(n int, directed bool) *Builder {
+	return &Builder{n: n, directed: directed}
+}
+
+// NewGraph is the historical name of NewBuilder: construction code calls
+// NewGraph, adds edges, and hands the builder to NewDual (which freezes it).
+func NewGraph(n int, directed bool) *Builder { return NewBuilder(n, directed) }
+
+// N returns the number of nodes.
+func (b *Builder) N() int { return b.n }
+
+// Directed reports whether the graph is directed.
+func (b *Builder) Directed() bool { return b.directed }
+
+// AddEdge inserts the edge (u, v); for undirected graphs it also inserts
+// (v, u). Self-loops and out-of-range endpoints are rejected.
+func (b *Builder) AddEdge(u, v NodeID) error {
+	if u == v {
+		return fmt.Errorf("self-loop at node %d", u)
+	}
+	if u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n {
+		return fmt.Errorf("edge (%d,%d) out of range for %d nodes", u, v, b.n)
+	}
+	b.addArc(u, v)
+	if !b.directed {
+		b.addArc(v, u)
+	}
+	return nil
+}
+
+// MustAddEdge is AddEdge for construction code with static endpoints.
+// It panics on invalid edges, which indicates a programming error in a
+// topology generator rather than a runtime condition.
+func (b *Builder) MustAddEdge(u, v NodeID) {
+	if err := b.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+func (b *Builder) addArc(u, v NodeID) {
+	a := packArc(u, v)
+	if b.lookup != nil {
+		if _, ok := b.lookup[a]; ok {
+			return
+		}
+		b.lookup[a] = struct{}{}
+	}
+	b.arcs = append(b.arcs, a)
+}
+
+// ensureLookup builds the arc index on first use and folds out any
+// duplicates already sitting in the log.
+func (b *Builder) ensureLookup() {
+	if b.lookup != nil {
+		return
+	}
+	b.lookup = make(map[uint64]struct{}, len(b.arcs))
+	w := 0
+	for _, a := range b.arcs {
+		if _, ok := b.lookup[a]; ok {
+			continue
+		}
+		b.lookup[a] = struct{}{}
+		b.arcs[w] = a
+		w++
+	}
+	b.arcs = b.arcs[:w]
+}
+
+// HasEdge reports whether the arc (u, v) has been added. The first call
+// builds a hash index over the arcs added so far; construction paths that
+// never query membership never pay for it.
+func (b *Builder) HasEdge(u, v NodeID) bool {
+	b.ensureLookup()
+	_, ok := b.lookup[packArc(u, v)]
+	return ok
+}
+
+// NumEdges returns the number of distinct directed arcs added so far. For an
+// undirected graph each edge counts twice (both orientations).
+func (b *Builder) NumEdges() int {
+	b.ensureLookup()
+	return len(b.lookup)
+}
+
+// Clone returns a deep copy of the builder.
+func (b *Builder) Clone() *Builder {
+	c := &Builder{n: b.n, directed: b.directed, arcs: slices.Clone(b.arcs)}
+	return c
+}
+
+// Freeze compacts the arc log into an immutable CSR graph: one counting
+// pass buckets arcs by source, then each adjacency row is sorted and
+// deduplicated in place. Total cost O(n + m log d); the builder remains
+// usable (and further mutable) afterwards.
+func (b *Builder) Freeze() *Graph {
+	n := b.n
+	offsets := make([]int32, n+1)
+	for _, a := range b.arcs {
+		offsets[(a>>32)+1]++
+	}
+	for i := 0; i < n; i++ {
+		offsets[i+1] += offsets[i]
+	}
+	targets := make([]NodeID, len(b.arcs))
+	cursor := make([]int32, n)
+	copy(cursor, offsets[:n])
+	for _, a := range b.arcs {
+		u, v := unpackArc(a)
+		targets[cursor[u]] = v
+		cursor[u]++
+	}
+	// Sort each row, then compact duplicates across all rows in one pass.
+	w := int32(0)
+	for u := 0; u < n; u++ {
+		lo, hi := offsets[u], offsets[u+1]
+		row := targets[lo:hi]
+		slices.Sort(row)
+		offsets[u] = w
+		for i, v := range row {
+			if i > 0 && v == row[i-1] {
+				continue
+			}
+			targets[w] = v
+			w++
+		}
+	}
+	offsets[n] = w
+	return &Graph{n: n, directed: b.directed, offsets: offsets, targets: targets[:w:w]}
+}
+
+// Graph is an immutable simple graph in CSR form: node u's out-neighbours
+// are targets[offsets[u]:offsets[u+1]], sorted ascending. An undirected
+// Graph stores both orientations of every edge. Graphs are produced by
+// Builder.Freeze and shared freely; they must never be mutated.
 type Graph struct {
 	n        int
 	directed bool
-	out      [][]NodeID
-	edges    map[edge]struct{}
-}
-
-// NewGraph returns an empty graph with n nodes.
-func NewGraph(n int, directed bool) *Graph {
-	return &Graph{
-		n:        n,
-		directed: directed,
-		out:      make([][]NodeID, n),
-		edges:    make(map[edge]struct{}),
-	}
+	offsets  []int32
+	targets  []NodeID
 }
 
 // N returns the number of nodes.
@@ -45,59 +204,30 @@ func (g *Graph) Directed() bool { return g.directed }
 
 // NumEdges returns the number of stored directed arcs. For an undirected
 // graph each edge counts twice (both orientations).
-func (g *Graph) NumEdges() int { return len(g.edges) }
+func (g *Graph) NumEdges() int { return len(g.targets) }
 
-// AddEdge inserts the edge (u, v); for undirected graphs it also inserts
-// (v, u). Self-loops and out-of-range endpoints are rejected.
-func (g *Graph) AddEdge(u, v NodeID) error {
-	if u == v {
-		return fmt.Errorf("self-loop at node %d", u)
-	}
-	if u < 0 || v < 0 || int(u) >= g.n || int(v) >= g.n {
-		return fmt.Errorf("edge (%d,%d) out of range for %d nodes", u, v, g.n)
-	}
-	g.addArc(u, v)
-	if !g.directed {
-		g.addArc(v, u)
-	}
-	return nil
-}
-
-// MustAddEdge is AddEdge for construction code with static endpoints.
-// It panics on invalid edges, which indicates a programming error in a
-// topology generator rather than a runtime condition.
-func (g *Graph) MustAddEdge(u, v NodeID) {
-	if err := g.AddEdge(u, v); err != nil {
-		panic(err)
-	}
-}
-
-func (g *Graph) addArc(u, v NodeID) {
-	e := edge{u, v}
-	if _, ok := g.edges[e]; ok {
-		return
-	}
-	g.edges[e] = struct{}{}
-	g.out[u] = append(g.out[u], v)
-}
-
-// HasEdge reports whether the arc (u, v) exists.
-func (g *Graph) HasEdge(u, v NodeID) bool {
-	_, ok := g.edges[edge{u, v}]
-	return ok
-}
-
-// Out returns u's out-neighbours. The returned slice must not be modified.
-func (g *Graph) Out(u NodeID) []NodeID { return g.out[u] }
+// Out returns u's out-neighbours, sorted ascending. The returned slice is a
+// view into the CSR core and must not be modified.
+func (g *Graph) Out(u NodeID) []NodeID { return g.targets[g.offsets[u]:g.offsets[u+1]] }
 
 // OutDegree returns the out-degree of u.
-func (g *Graph) OutDegree(u NodeID) int { return len(g.out[u]) }
+func (g *Graph) OutDegree(u NodeID) int { return int(g.offsets[u+1] - g.offsets[u]) }
+
+// HasEdge reports whether the arc (u, v) exists, by binary search in u's
+// sorted row: O(log d) for out-degree d.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	if u < 0 || int(u) >= g.n {
+		return false
+	}
+	_, ok := slices.BinarySearch(g.Out(u), v)
+	return ok
+}
 
 // MaxInDegree returns the maximum in-degree over all nodes.
 func (g *Graph) MaxInDegree() int {
 	in := make([]int, g.n)
-	for e := range g.edges {
-		in[e.to]++
+	for _, v := range g.targets {
+		in[v]++
 	}
 	maxIn := 0
 	for _, d := range in {
@@ -108,23 +238,6 @@ func (g *Graph) MaxInDegree() int {
 	return maxIn
 }
 
-// Clone returns a deep copy of the graph.
-func (g *Graph) Clone() *Graph {
-	c := NewGraph(g.n, g.directed)
-	for e := range g.edges {
-		c.addArc(e.from, e.to)
-	}
-	return c
-}
-
-// SortAdjacency sorts every adjacency list; useful for deterministic
-// iteration in simulations and tests.
-func (g *Graph) SortAdjacency() {
-	for _, nbrs := range g.out {
-		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
-	}
-}
-
 // DistancesFrom returns BFS distances from src; unreachable nodes get -1.
 func (g *Graph) DistancesFrom(src NodeID) []int {
 	dist := make([]int, g.n)
@@ -132,11 +245,11 @@ func (g *Graph) DistancesFrom(src NodeID) []int {
 		dist[i] = -1
 	}
 	dist[src] = 0
-	queue := []NodeID{src}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, v := range g.out[u] {
+	queue := make([]NodeID, 0, g.n)
+	queue = append(queue, src)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range g.Out(u) {
 			if dist[v] < 0 {
 				dist[v] = dist[u] + 1
 				queue = append(queue, v)
@@ -156,59 +269,105 @@ var (
 )
 
 // Dual is a dual-graph network (G, G') with a distinguished source. It is
-// immutable after construction.
+// immutable after construction: G, G', and the unreliable fringe G' \ G are
+// frozen CSR cores, and every unreliable arc carries a dense stable EdgeID.
 type Dual struct {
-	g             *Graph
-	gPrime        *Graph
-	source        NodeID
-	unreliableOut [][]NodeID // out-neighbours in G' that are not in G
+	g      *Graph
+	gPrime *Graph
+	source NodeID
+	// fringe is G' \ G in CSR form; fringe.offsets doubles as the per-node
+	// EdgeID base, since ids are dense in (from, to) order.
+	fringe *Graph
+	// fringeFrom[id] is the source node of unreliable arc id (the reverse
+	// of the CSR layout, for O(1) EdgeID -> arc decoding).
+	fringeFrom []NodeID
 }
 
-// NewDual validates and assembles a dual graph network. It checks that
-// E ⊆ E', that node counts match, and that every node is reachable from the
-// source in G (the paper's standing assumption).
-func NewDual(g, gPrime *Graph, source NodeID) (*Dual, error) {
+// NewDual validates and assembles a dual graph network from two builders.
+// It checks that E ⊆ E', that node counts match, and that every node is
+// reachable from the source in G (the paper's standing assumption). Both
+// builders are frozen; the Dual shares nothing with them afterwards.
+func NewDual(g, gPrime *Builder, source NodeID) (*Dual, error) {
 	if g.N() != gPrime.N() {
 		return nil, ErrSizeMismatch
 	}
-	if g.N() < 2 {
+	return newDual(g.Freeze(), gPrime.Freeze(), source)
+}
+
+// NewDualGraphs assembles a dual graph network from already-frozen graphs,
+// with the same validation as NewDual. The Dual aliases the given graphs.
+func NewDualGraphs(g, gPrime *Graph, source NodeID) (*Dual, error) {
+	if g.N() != gPrime.N() {
+		return nil, ErrSizeMismatch
+	}
+	return newDual(g, gPrime, source)
+}
+
+func newDual(g, gPrime *Graph, source NodeID) (*Dual, error) {
+	n := g.N()
+	if n < 2 {
 		return nil, ErrTooSmall
 	}
-	if source < 0 || int(source) >= g.N() {
+	if source < 0 || int(source) >= n {
 		return nil, ErrBadSource
 	}
-	for e := range g.edges {
-		if !gPrime.HasEdge(e.from, e.to) {
-			return nil, fmt.Errorf("%w: edge (%d,%d)", ErrNotSubgraph, e.from, e.to)
-		}
+	fringe, fringeFrom, err := subtract(gPrime, g)
+	if err != nil {
+		return nil, err
 	}
 	for v, dist := range g.DistancesFrom(source) {
 		if dist < 0 {
 			return nil, fmt.Errorf("%w: node %d", ErrUnreachable, v)
 		}
 	}
-	g = g.Clone()
-	gPrime = gPrime.Clone()
-	g.SortAdjacency()
-	gPrime.SortAdjacency()
-	d := &Dual{
-		g:             g,
-		gPrime:        gPrime,
-		source:        source,
-		unreliableOut: make([][]NodeID, g.N()),
+	return &Dual{
+		g:          g,
+		gPrime:     gPrime,
+		source:     source,
+		fringe:     fringe,
+		fringeFrom: fringeFrom,
+	}, nil
+}
+
+// subtract computes the fringe gp \ g as a CSR graph by merge-walking the
+// two sorted row sets, verifying g ⊆ gp along the way. O(|E'|) total.
+func subtract(gp, g *Graph) (*Graph, []NodeID, error) {
+	n := gp.N()
+	offsets := make([]int32, n+1)
+	fringeCap := len(gp.targets) - len(g.targets)
+	if fringeCap < 0 {
+		fringeCap = 0 // g ⊄ gp; the walk below reports the offending edge
 	}
-	for u := 0; u < g.N(); u++ {
-		for _, v := range gPrime.Out(NodeID(u)) {
-			if !g.HasEdge(NodeID(u), v) {
-				d.unreliableOut[u] = append(d.unreliableOut[u], v)
+	targets := make([]NodeID, 0, fringeCap)
+	from := make([]NodeID, 0, fringeCap)
+	for u := 0; u < n; u++ {
+		gpRow := gp.Out(NodeID(u))
+		gRow := g.Out(NodeID(u))
+		i := 0
+		for _, v := range gpRow {
+			for i < len(gRow) && gRow[i] < v {
+				// A reliable arc smaller than every remaining G' arc cannot
+				// be matched: G ⊄ G'.
+				return nil, nil, fmt.Errorf("%w: edge (%d,%d)", ErrNotSubgraph, u, gRow[i])
 			}
+			if i < len(gRow) && gRow[i] == v {
+				i++
+				continue
+			}
+			targets = append(targets, v)
+			from = append(from, NodeID(u))
 		}
+		if i < len(gRow) {
+			return nil, nil, fmt.Errorf("%w: edge (%d,%d)", ErrNotSubgraph, u, gRow[i])
+		}
+		offsets[u+1] = int32(len(targets))
 	}
-	return d, nil
+	fringe := &Graph{n: n, directed: true, offsets: offsets, targets: targets}
+	return fringe, from, nil
 }
 
 // MustDual is NewDual for generators whose construction is valid by design.
-func MustDual(g, gPrime *Graph, source NodeID) *Dual {
+func MustDual(g, gPrime *Builder, source NodeID) *Dual {
 	d, err := NewDual(g, gPrime, source)
 	if err != nil {
 		panic(err)
@@ -228,23 +387,57 @@ func (d *Dual) G() *Graph { return d.g }
 // GPrime returns the full graph G'. The caller must not mutate it.
 func (d *Dual) GPrime() *Graph { return d.gPrime }
 
-// ReliableOut returns u's out-neighbours along reliable edges.
+// ReliableOut returns u's out-neighbours along reliable edges, sorted
+// ascending (a view into the CSR core).
 func (d *Dual) ReliableOut(u NodeID) []NodeID { return d.g.Out(u) }
 
 // UnreliableOut returns u's out-neighbours along edges of G' \ G, the edges
-// the adversary controls.
-func (d *Dual) UnreliableOut(u NodeID) []NodeID { return d.unreliableOut[u] }
+// the adversary controls, sorted ascending (a view into the CSR core).
+func (d *Dual) UnreliableOut(u NodeID) []NodeID { return d.fringe.Out(u) }
+
+// NumUnreliable returns the number of unreliable arcs |E' \ E| (and hence
+// the exclusive upper bound on EdgeID values).
+func (d *Dual) NumUnreliable() int { return len(d.fringe.targets) }
+
+// UnreliableEdges returns u's unreliable arcs as (base, targets): the arc
+// to targets[i] has EdgeID base+i. This is the adversary-facing index —
+// a delivery choice over the round's senders is a set of such ids.
+func (d *Dual) UnreliableEdges(u NodeID) (base EdgeID, targets []NodeID) {
+	return EdgeID(d.fringe.offsets[u]), d.fringe.Out(u)
+}
+
+// UnreliableEdge decodes an EdgeID into its (from, to) arc. It panics when
+// id is outside [0, NumUnreliable()), which indicates adversary code using
+// an id from a different network.
+func (d *Dual) UnreliableEdge(id EdgeID) (from, to NodeID) {
+	return d.fringeFrom[id], d.fringe.targets[id]
+}
+
+// UnreliableEdgeID returns the EdgeID of the unreliable arc (u, v), if any:
+// O(log d) by binary search in u's fringe row.
+func (d *Dual) UnreliableEdgeID(u, v NodeID) (EdgeID, bool) {
+	if u < 0 || int(u) >= d.fringe.n {
+		return 0, false
+	}
+	row := d.fringe.Out(u)
+	i, ok := slices.BinarySearch(row, v)
+	if !ok {
+		return 0, false
+	}
+	return EdgeID(d.fringe.offsets[u] + int32(i)), true
+}
+
+// HasUnreliableEdge reports whether (u, v) is an edge of G' \ G, in
+// O(log d) — the membership test adversaries use when deciding whether a
+// jamming arc exists.
+func (d *Dual) HasUnreliableEdge(u, v NodeID) bool {
+	_, ok := d.UnreliableEdgeID(u, v)
+	return ok
+}
 
 // Classical reports whether G = G', i.e. the network has no unreliable edges
 // and behaves exactly like the classical static radio model.
-func (d *Dual) Classical() bool {
-	for _, u := range d.unreliableOut {
-		if len(u) > 0 {
-			return false
-		}
-	}
-	return true
-}
+func (d *Dual) Classical() bool { return d.NumUnreliable() == 0 }
 
 // Eccentricity returns the maximum G-distance from the source, i.e. the
 // source eccentricity (a lower bound on broadcast time).

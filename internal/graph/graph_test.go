@@ -56,8 +56,8 @@ func TestDuplicateEdgeIgnored(t *testing.T) {
 	if g.NumEdges() != 2 {
 		t.Fatalf("duplicate edge changed edge count: %d", g.NumEdges())
 	}
-	if len(g.Out(0)) != 1 {
-		t.Fatalf("duplicate edge duplicated adjacency: %v", g.Out(0))
+	if out := g.Freeze().Out(0); len(out) != 1 {
+		t.Fatalf("duplicate edge duplicated adjacency: %v", out)
 	}
 }
 
@@ -66,7 +66,7 @@ func TestDistancesFromLine(t *testing.T) {
 	for u := 0; u+1 < 5; u++ {
 		g.MustAddEdge(NodeID(u), NodeID(u+1))
 	}
-	dist := g.DistancesFrom(0)
+	dist := g.Freeze().DistancesFrom(0)
 	for i, d := range dist {
 		if d != i {
 			t.Errorf("dist[%d] = %d, want %d", i, d, i)
@@ -77,7 +77,7 @@ func TestDistancesFromLine(t *testing.T) {
 func TestDistancesUnreachable(t *testing.T) {
 	g := NewGraph(3, true)
 	g.MustAddEdge(0, 1)
-	dist := g.DistancesFrom(0)
+	dist := g.Freeze().DistancesFrom(0)
 	if dist[2] != -1 {
 		t.Fatalf("node 2 should be unreachable, got dist %d", dist[2])
 	}
@@ -409,7 +409,7 @@ func TestRandomDualProperty(t *testing.T) {
 			return false
 		}
 		// E ⊆ E' and connectivity hold by construction; re-validate.
-		_, err = NewDual(d.G(), d.GPrime(), d.Source())
+		_, err = NewDualGraphs(d.G(), d.GPrime(), d.Source())
 		return err == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {

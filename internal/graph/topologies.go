@@ -7,14 +7,22 @@ import (
 )
 
 // Classical wraps a single graph g as the dual network (g, g): every link is
-// reliable, which is exactly the classical static radio model.
-func Classical(g *Graph, source NodeID) (*Dual, error) {
-	return NewDual(g, g, source)
+// reliable, which is exactly the classical static radio model. The frozen
+// CSR core is shared between G and G'.
+func Classical(g *Builder, source NodeID) (*Dual, error) {
+	fg := g.Freeze()
+	return NewDualGraphs(fg, fg, source)
+}
+
+// ClassicalFrozen is Classical for an already-frozen graph (e.g. a Dual's
+// own reliable core reused as a static network).
+func ClassicalFrozen(g *Graph, source NodeID) (*Dual, error) {
+	return NewDualGraphs(g, g, source)
 }
 
 // Complete returns the classical complete graph on n nodes (single hop).
 func Complete(n int) (*Dual, error) {
-	g := NewGraph(n, false)
+	g := NewBuilder(n, false)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
 			g.MustAddEdge(NodeID(u), NodeID(v))
@@ -25,7 +33,7 @@ func Complete(n int) (*Dual, error) {
 
 // Line returns the classical path 0-1-...-(n-1) with the source at node 0.
 func Line(n int) (*Dual, error) {
-	g := NewGraph(n, false)
+	g := NewBuilder(n, false)
 	for u := 0; u+1 < n; u++ {
 		g.MustAddEdge(NodeID(u), NodeID(u+1))
 	}
@@ -34,7 +42,7 @@ func Line(n int) (*Dual, error) {
 
 // Star returns the classical star with the source at the hub (node 0).
 func Star(n int) (*Dual, error) {
-	g := NewGraph(n, false)
+	g := NewBuilder(n, false)
 	for v := 1; v < n; v++ {
 		g.MustAddEdge(0, NodeID(v))
 	}
@@ -50,14 +58,14 @@ func CliqueBridge(n int) (*Dual, error) {
 	if n < 3 {
 		return nil, fmt.Errorf("clique-bridge needs n >= 3, got %d", n)
 	}
-	g := NewGraph(n, false)
+	g := NewBuilder(n, false)
 	for u := 0; u < n-1; u++ {
 		for v := u + 1; v < n-1; v++ {
 			g.MustAddEdge(NodeID(u), NodeID(v))
 		}
 	}
 	g.MustAddEdge(BridgeNode, NodeID(n-1))
-	gp := NewGraph(n, false)
+	gp := NewBuilder(n, false)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
 			gp.MustAddEdge(NodeID(u), NodeID(v))
@@ -84,7 +92,7 @@ func CompleteLayered(n int) (*Dual, error) {
 	if n < 5 || n%2 == 0 {
 		return nil, fmt.Errorf("complete-layered needs odd n >= 5, got %d", n)
 	}
-	g := NewGraph(n, false)
+	g := NewBuilder(n, false)
 	layers := (n - 1) / 2
 	layerOf := func(k int) []NodeID {
 		if k == 0 {
@@ -107,7 +115,7 @@ func CompleteLayered(n int) (*Dual, error) {
 			}
 		}
 	}
-	gp := NewGraph(n, false)
+	gp := NewBuilder(n, false)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
 			gp.MustAddEdge(NodeID(u), NodeID(v))
@@ -137,7 +145,7 @@ func LayeredRandom(layerSizes []int) (*Dual, error) {
 		}
 		n += s
 	}
-	g := NewGraph(n, false)
+	g := NewBuilder(n, false)
 	prev := []NodeID{0}
 	next := 1
 	for _, s := range layerSizes {
@@ -158,7 +166,7 @@ func LayeredRandom(layerSizes []int) (*Dual, error) {
 		}
 		prev = cur
 	}
-	gp := NewGraph(n, false)
+	gp := NewBuilder(n, false)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
 			gp.MustAddEdge(NodeID(u), NodeID(v))
@@ -180,7 +188,7 @@ func Grid(rows, cols, reach int, p float64, rng *rand.Rand) (*Dual, error) {
 	}
 	n := rows * cols
 	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
-	g := NewGraph(n, false)
+	g := NewBuilder(n, false)
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			if r+1 < rows {
@@ -201,7 +209,10 @@ func Grid(rows, cols, reach int, p float64, rng *rand.Rand) (*Dual, error) {
 						continue
 					}
 					u, v := id(r, c), id(r2, c2)
-					if u >= v || g.HasEdge(u, v) {
+					// Lattice edges (the reliable layer) are exactly the
+					// axis-aligned unit steps; everything else in the reach
+					// window is a gray-zone candidate.
+					if u >= v || abs(dr)+abs(dc) == 1 {
 						continue
 					}
 					if rng.Float64() < p {
@@ -214,6 +225,13 @@ func Grid(rows, cols, reach int, p float64, rng *rand.Rand) (*Dual, error) {
 	return NewDual(g, gp, 0)
 }
 
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
 // RandomDual builds a random dual graph: G is a random connected graph
 // (a path through a random permutation plus G(n, pReliable) edges) and
 // G' adds each remaining pair independently with probability pUnreliable.
@@ -221,7 +239,7 @@ func RandomDual(n int, pReliable, pUnreliable float64, rng *rand.Rand) (*Dual, e
 	if n < 2 {
 		return nil, ErrTooSmall
 	}
-	g := NewGraph(n, false)
+	g := NewBuilder(n, false)
 	perm := rng.Perm(n)
 	for i := 0; i+1 < n; i++ {
 		g.MustAddEdge(NodeID(perm[i]), NodeID(perm[i+1]))
@@ -250,6 +268,13 @@ func RandomDual(n int, pReliable, pUnreliable float64, rng *rand.Rand) (*Dual, e
 // ones only sometimes). A Hamiltonian path in placement order is added to G
 // to guarantee source reachability, modelling a deployment with a known-good
 // backbone.
+//
+// Candidate pairs are enumerated through a uniform cell grid of side
+// >= rUnreliable, so construction costs O(n + p·log) for p pairs within
+// radius instead of the quadratic all-pairs scan — a 100k-node deployment
+// with local radii builds in well under a second. The edge set (and hence
+// the frozen Dual) is identical to the historical all-pairs construction
+// for the same rng, since positions consume the only random draws.
 func Geometric(n int, rReliable, rUnreliable float64, rng *rand.Rand) (*Dual, error) {
 	if n < 2 {
 		return nil, ErrTooSmall
@@ -266,24 +291,65 @@ func Geometric(n int, rReliable, rUnreliable float64, rng *rand.Rand) (*Dual, er
 	dist := func(u, v int) float64 {
 		return math.Hypot(xs[u]-xs[v], ys[u]-ys[v])
 	}
-	g := NewGraph(n, false)
+	g := NewBuilder(n, false)
 	for u := 0; u+1 < n; u++ {
 		g.MustAddEdge(NodeID(u), NodeID(u+1))
 	}
+
+	// Bucket nodes into a side x side grid with cell length >= rUnreliable:
+	// all pairs within the radius live in the same or an adjacent cell. The
+	// side is capped at ~sqrt(n) so bucket memory stays O(n) even for tiny
+	// radii.
+	side := 1
+	if rUnreliable > 0 {
+		side = int(1 / rUnreliable)
+	}
+	if maxSide := int(math.Sqrt(float64(n))) + 1; side > maxSide {
+		side = maxSide
+	}
+	if side < 1 {
+		side = 1
+	}
+	cellOf := func(x float64) int {
+		c := int(x * float64(side))
+		if c >= side {
+			c = side - 1
+		}
+		return c
+	}
+	buckets := make([][]int32, side*side)
 	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			if dist(u, v) <= rReliable {
-				g.MustAddEdge(NodeID(u), NodeID(v))
+		c := cellOf(ys[u])*side + cellOf(xs[u])
+		buckets[c] = append(buckets[c], int32(u))
+	}
+
+	var unreliable [][2]NodeID
+	for u := 0; u < n; u++ {
+		cx, cy := cellOf(xs[u]), cellOf(ys[u])
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				x2, y2 := cx+dx, cy+dy
+				if x2 < 0 || x2 >= side || y2 < 0 || y2 >= side {
+					continue
+				}
+				for _, w := range buckets[y2*side+x2] {
+					v := int(w)
+					if v <= u {
+						continue
+					}
+					d := dist(u, v)
+					if d <= rReliable {
+						g.MustAddEdge(NodeID(u), NodeID(v))
+					} else if d <= rUnreliable {
+						unreliable = append(unreliable, [2]NodeID{NodeID(u), NodeID(v)})
+					}
+				}
 			}
 		}
 	}
 	gp := g.Clone()
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			if !gp.HasEdge(NodeID(u), NodeID(v)) && dist(u, v) <= rUnreliable {
-				gp.MustAddEdge(NodeID(u), NodeID(v))
-			}
-		}
+	for _, e := range unreliable {
+		gp.MustAddEdge(e[0], e[1])
 	}
 	return NewDual(g, gp, 0)
 }
@@ -294,11 +360,72 @@ func BinaryTree(n int) (*Dual, error) {
 	if n < 2 {
 		return nil, ErrTooSmall
 	}
-	g := NewGraph(n, false)
+	g := NewBuilder(n, false)
 	for v := 1; v < n; v++ {
 		g.MustAddEdge(NodeID((v-1)/2), NodeID(v))
 	}
 	return Classical(g, 0)
+}
+
+// PreferentialAttachment builds a scale-free dual graph by Barabási–Albert
+// growth: node v joins with min(m, v) links to existing nodes chosen
+// proportionally to their current G' degree. Each node's first link is
+// reliable (so G stays connected to the source, node 0); every further link
+// is unreliable with probability unreliableFrac, modelling hub-and-spoke
+// deployments whose long-range shortcuts are gray-zone radio links.
+// Construction is O(n·m) — the generator scales to 100k+ nodes.
+func PreferentialAttachment(n, m int, unreliableFrac float64, rng *rand.Rand) (*Dual, error) {
+	if n < 2 {
+		return nil, ErrTooSmall
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("preferential attachment needs m >= 1, got %d", m)
+	}
+	if unreliableFrac < 0 || unreliableFrac > 1 {
+		return nil, fmt.Errorf("unreliable fraction %v outside [0,1]", unreliableFrac)
+	}
+	g := NewBuilder(n, false)
+	var unreliable [][2]NodeID
+	// ends holds one entry per arc endpoint: sampling uniformly from it is
+	// sampling nodes proportionally to degree (the classic BA trick).
+	ends := make([]NodeID, 0, 2*m*n)
+	targets := make([]NodeID, 0, m)
+	for v := 1; v < n; v++ {
+		targets = targets[:0]
+		if v <= m {
+			// Too few existing nodes to sample distinctly: link to all.
+			for t := 0; t < v; t++ {
+				targets = append(targets, NodeID(t))
+			}
+		} else {
+			for len(targets) < m {
+				t := ends[rng.Intn(len(ends))]
+				dup := false
+				for _, prev := range targets {
+					if prev == t {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					targets = append(targets, t)
+				}
+			}
+		}
+		for i, t := range targets {
+			if i > 0 && rng.Float64() < unreliableFrac {
+				unreliable = append(unreliable, [2]NodeID{NodeID(v), t})
+			} else {
+				g.MustAddEdge(NodeID(v), t)
+			}
+			ends = append(ends, NodeID(v), t)
+		}
+	}
+	gp := g.Clone()
+	for _, e := range unreliable {
+		gp.MustAddEdge(e[0], e[1])
+	}
+	return NewDual(g, gp, 0)
 }
 
 // DirectedLayered builds a directed dual graph: a chain of layers where
@@ -313,8 +440,8 @@ func DirectedLayered(layerSizes []int) (*Dual, error) {
 		}
 		n += s
 	}
-	g := NewGraph(n, true)
-	gp := NewGraph(n, true)
+	g := NewBuilder(n, true)
+	gp := NewBuilder(n, true)
 	var layers [][]NodeID
 	layers = append(layers, []NodeID{0})
 	next := 1

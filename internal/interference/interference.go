@@ -18,10 +18,9 @@ import (
 
 // Model is an explicit-interference network: messages can only be conveyed
 // along G_T edges, while G_I \ G_T edges cause interference but can never
-// deliver a message.
+// deliver a message. It is represented by the Lemma 1 dual graph with
+// G = G_T and G' = G_I; the fringe G' \ G holds the interference-only arcs.
 type Model struct {
-	gt     *graph.Graph
-	gi     *graph.Graph
 	source graph.NodeID
 	dual   *graph.Dual
 }
@@ -30,7 +29,7 @@ type Model struct {
 var ErrNotSubgraph = errors.New("transmission graph is not a subgraph of the interference graph")
 
 // NewModel validates G_T ⊆ G_I and source reachability in G_T.
-func NewModel(gt, gi *graph.Graph, source graph.NodeID) (*Model, error) {
+func NewModel(gt, gi *graph.Builder, source graph.NodeID) (*Model, error) {
 	// The dual-graph constructor performs exactly the validations the
 	// explicit-interference model needs (subgraph, reachability, size).
 	d, err := graph.NewDual(gt, gi, source)
@@ -40,17 +39,17 @@ func NewModel(gt, gi *graph.Graph, source graph.NodeID) (*Model, error) {
 		}
 		return nil, err
 	}
-	return &Model{gt: d.G(), gi: d.GPrime(), source: source, dual: d}, nil
+	return &Model{source: source, dual: d}, nil
 }
 
 // FromDual reinterprets a dual graph (G, G') as the explicit-interference
 // model (G_T = G, G_I = G').
 func FromDual(d *graph.Dual) *Model {
-	return &Model{gt: d.G(), gi: d.GPrime(), source: d.Source(), dual: d}
+	return &Model{source: d.Source(), dual: d}
 }
 
 // N returns the node count.
-func (m *Model) N() int { return m.gt.N() }
+func (m *Model) N() int { return m.dual.N() }
 
 // Source returns the source node.
 func (m *Model) Source() graph.NodeID { return m.source }
@@ -147,11 +146,14 @@ func Run(m *Model, alg sim.Algorithm, cfg sim.Config) (*sim.Result, error) {
 		for _, s := range senders {
 			gtReach[s] = append(gtReach[s], s) // own message
 			giCount[s]++
-			for _, v := range m.gi.Out(s) {
+			// G_I = G_T ∪ (G_I \ G_T): walk the dual's two CSR rows instead
+			// of testing G_T membership per G_I arc.
+			for _, v := range m.dual.ReliableOut(s) {
 				giCount[v]++
-				if m.gt.HasEdge(s, v) {
-					gtReach[v] = append(gtReach[v], s)
-				}
+				gtReach[v] = append(gtReach[v], s)
+			}
+			for _, v := range m.dual.UnreliableOut(s) {
+				giCount[v]++
 			}
 		}
 

@@ -33,7 +33,7 @@ type Survey struct {
 	// Rates maps every G' arc to its observed delivery rate.
 	Rates map[Arc]float64
 	// Estimated is the culled graph: all arcs with rate >= Threshold.
-	Estimated *graph.Graph
+	Estimated *graph.Builder
 	// TruePositives counts estimated arcs that are truly reliable;
 	// FalsePositives counts estimated arcs that are actually unreliable;
 	// FalseNegatives counts truly reliable arcs that were culled.
@@ -78,7 +78,7 @@ func Probe(d *graph.Dual, deliveryProb float64, cycles int, threshold float64, s
 		Cycles:    cycles,
 		Threshold: threshold,
 		Rates:     make(map[Arc]float64),
-		Estimated: graph.NewGraph(n, true),
+		Estimated: graph.NewBuilder(n, true),
 		dual:      d,
 	}
 	for u := 0; u < n; u++ {
@@ -128,5 +128,5 @@ func (s *Survey) Recall() float64 {
 // It fails when culling disconnected the source (recall too low), which is
 // itself a meaningful experimental outcome.
 func (s *Survey) CulledDual() (*graph.Dual, error) {
-	return graph.NewDual(s.Estimated, s.dual.GPrime(), s.dual.Source())
+	return graph.NewDualGraphs(s.Estimated.Freeze(), s.dual.GPrime(), s.dual.Source())
 }

@@ -217,7 +217,7 @@ func Run(d *graph.Dual, p Protocol, cfg Config) (*Result, error) {
 					continue
 				}
 				for _, other := range senders {
-					if other != s && hasUnreliable(d, other, graph.NodeID(u)) {
+					if other != s && d.HasUnreliableEdge(other, graph.NodeID(u)) {
 						reaching[u] = append(reaching[u], other)
 						break
 					}
@@ -273,10 +273,6 @@ func Run(d *graph.Dual, p Protocol, cfg Config) (*Result, error) {
 		res.Throughput = float64(cfg.Messages) / float64(res.Rounds)
 	}
 	return res, nil
-}
-
-func hasUnreliable(d *graph.Dual, from, to graph.NodeID) bool {
-	return d.GPrime().HasEdge(from, to) && !d.G().HasEdge(from, to)
 }
 
 // Sequential runs one single-message protocol per message, back to back,

@@ -1,6 +1,8 @@
 package sim_test
 
 import (
+	"math/rand"
+	"runtime"
 	"testing"
 
 	"dualgraph/internal/adversary"
@@ -46,5 +48,62 @@ func TestRoundLoopAllocationFreeSteadyState(t *testing.T) {
 	// far past this bound.
 	if long > short+64 {
 		t.Fatalf("round loop allocates per round: %0.f allocs at 2000 rounds vs %0.f at 8000", short, long)
+	}
+}
+
+// TestLargeScaleRoundLoopAllocationFree is the 100k-node stress path: a
+// geometric dual with ~2.7M arcs must build via the cell-bucketed generator
+// and run a 1000-round CR3 broadcast whose steady-state round loop does not
+// allocate. Skipped under -short (it takes ~20s); the full CI test lane
+// runs it.
+func TestLargeScaleRoundLoopAllocationFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-node stress sim skipped in -short mode")
+	}
+	const n = 100_000
+	d, err := graph.Geometric(n, 0.004, 0.009, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != n {
+		t.Fatalf("n = %d", d.N())
+	}
+	alg, err := core.NewUniform(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := adversary.NewRandom(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	measure := func(rounds int) (*sim.Result, uint64) {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		res, err := sim.Run(d, alg, adv, sim.Config{
+			Rule:           sim.CR3,
+			Start:          sim.AsyncStart,
+			Seed:           7,
+			MaxRounds:      rounds,
+			RunToMaxRounds: true,
+		})
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, after.Mallocs - before.Mallocs
+	}
+	// Both runs pay the identical setup (processes, run buffers) and the
+	// reaching lists reach steady-state capacity well before round 300, so
+	// the malloc difference isolates the per-round cost of 700 extra rounds.
+	_, baseAllocs := measure(300)
+	res, fullAllocs := measure(1000)
+	if !res.Completed {
+		t.Fatalf("broadcast did not cover all %d nodes within 1000 rounds", n)
+	}
+	extra := int64(fullAllocs) - int64(baseAllocs)
+	if extra > 700 { // < 1 allocation per extra round on average
+		t.Fatalf("steady-state rounds allocate: %d extra mallocs over 700 rounds", extra)
 	}
 }

@@ -220,7 +220,8 @@ type DeliverySink struct {
 
 // Add records that sender s's message reaches v along the unreliable edge
 // (s, v) this round. Invalid deliveries (s did not send, or (s, v) is not an
-// edge of G' \ G) turn the run into an ErrBadDelivery failure.
+// edge of G' \ G) turn the run into an ErrBadDelivery failure. Membership is
+// validated in O(log d) against the dual's unreliable fringe index.
 func (ds *DeliverySink) Add(s, v graph.NodeID) {
 	if ds.err != nil {
 		return
@@ -229,8 +230,28 @@ func (ds *DeliverySink) Add(s, v graph.NodeID) {
 		ds.err = fmt.Errorf("%w: node %d did not send", ErrBadDelivery, s)
 		return
 	}
-	if ds.d.G().HasEdge(s, v) || !ds.d.GPrime().HasEdge(s, v) {
+	if !ds.d.HasUnreliableEdge(s, v) {
 		ds.err = fmt.Errorf("%w: (%d,%d)", ErrBadDelivery, s, v)
+		return
+	}
+	ds.buf.addReaching(v, s)
+}
+
+// AddEdgeID records a delivery along the unreliable arc with the given
+// dense edge id (see graph.Dual.UnreliableEdges). It is the fastest sink
+// entry point: the arc is resolved by direct index, so the only check left
+// is that its source actually transmitted this round.
+func (ds *DeliverySink) AddEdgeID(id graph.EdgeID) {
+	if ds.err != nil {
+		return
+	}
+	if id < 0 || int(id) >= ds.d.NumUnreliable() {
+		ds.err = fmt.Errorf("%w: edge id %d outside [0,%d)", ErrBadDelivery, id, ds.d.NumUnreliable())
+		return
+	}
+	s, v := ds.d.UnreliableEdge(id)
+	if !ds.sent[s] {
+		ds.err = fmt.Errorf("%w: node %d did not send", ErrBadDelivery, s)
 		return
 	}
 	ds.buf.addReaching(v, s)
@@ -287,9 +308,35 @@ type runBuffers struct {
 	newHolders []graph.NodeID
 }
 
-func newRunBuffers(n int) *runBuffers {
+// newRunBuffers sizes the per-node reaching lists to their model upper
+// bound — a node can be reached by at most its G' in-neighbours plus its own
+// transmission — and carves them out of one flat backing array (CSR-style),
+// so the round loop never grows a row no matter the traffic pattern. (A
+// misbehaving adversary delivering the same arc twice in a round merely
+// falls back to an ordinary slice grow.)
+func newRunBuffers(d *graph.Dual) *runBuffers {
+	n := d.N()
+	gp := d.GPrime()
+	indeg := make([]int32, n)
+	for u := 0; u < n; u++ {
+		for _, v := range gp.Out(graph.NodeID(u)) {
+			indeg[v]++
+		}
+	}
+	total := 0
+	for _, c := range indeg {
+		total += int(c) + 1
+	}
+	backing := make([]graph.NodeID, total)
+	reaching := make([][]graph.NodeID, n)
+	off := 0
+	for v := 0; v < n; v++ {
+		end := off + int(indeg[v]) + 1
+		reaching[v] = backing[off:off:end]
+		off = end
+	}
 	return &runBuffers{
-		reaching:   make([][]graph.NodeID, n),
+		reaching:   reaching,
 		touchedBit: make([]uint64, (n+63)/64),
 		touched:    make([]graph.NodeID, 0, n),
 		senders:    make([]graph.NodeID, 0, n),
@@ -449,7 +496,7 @@ func Run(d *graph.Dual, alg Algorithm, adv Adversary, cfg Config) (*Result, erro
 		Sent:       sent,
 		Rng:        advRng,
 	}
-	buf := newRunBuffers(n)
+	buf := newRunBuffers(d)
 	sink := &DeliverySink{
 		d:            d,
 		sent:         sent,

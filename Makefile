@@ -39,14 +39,17 @@ race:
 bench-smoke:
 	$(GO) test -run NONE -bench 'BenchmarkEngine|BenchmarkSimRoundLoop' -benchtime 3x .
 
-# The perf-trajectory artifact: hot-path and graph-layer benchmarks parsed
-# into BENCH_pr2.json (benchmark name -> ns/op, B/op, allocs/op, custom
-# metrics). CI uploads the file so the trend is comparable across PRs.
+# The perf-trajectory artifact: hot-path, reducer, and graph-layer
+# benchmarks parsed into BENCH_pr3.json (benchmark name -> ns/op, B/op,
+# allocs/op, custom metrics). The 'BenchmarkEngine' pattern covers both the
+# slice path (EngineSequential/Parallel) and the streaming reducer
+# (EngineReduceSequential/Parallel). CI uploads the file so the trend is
+# comparable across PRs.
 bench-json:
 	$(GO) test -run NONE -bench 'BenchmarkEngine|BenchmarkSimRoundLoop' -benchmem -benchtime 3x . > bench_raw.txt
 	$(GO) test -run NONE -bench 'BenchmarkGraphConstruction|BenchmarkUnreliableMembership|BenchmarkGeometricBuild100k|BenchmarkPreferentialAttachmentBuild100k' -benchmem -benchtime 3x ./internal/graph/ >> bench_raw.txt
-	$(GO) run ./cmd/benchjson < bench_raw.txt > BENCH_pr2.json
+	$(GO) run ./cmd/benchjson < bench_raw.txt > BENCH_pr3.json
 	@rm -f bench_raw.txt
-	@echo "wrote BENCH_pr2.json"
+	@echo "wrote BENCH_pr3.json"
 
 ci: build vet fmt-check test race

@@ -453,6 +453,49 @@ func BenchmarkEngineParallel(b *testing.B) {
 	benchEngineTrials(b, runtime.GOMAXPROCS(0))
 }
 
+// benchEngineReduce runs the same Monte Carlo workload as benchEngineTrials
+// through the streaming reducer: identical trials and seeds, but folded into
+// shard accumulators instead of a materialized result slice.
+func benchEngineReduce(b *testing.B, workers int) {
+	b.Helper()
+	n := 65
+	d, err := graph.CliqueBridge(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alg, err := core.NewHarmonicForN(n, 0.02)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound := int(2 * float64(n*alg.T) * stats.HarmonicNumber(n))
+	simCfg := sim.Config{Rule: sim.CR4, Start: sim.AsyncStart, Seed: 1, MaxRounds: bound}
+	const trials = 64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, err := engine.RunStream(d, alg, adversary.GreedyCollider{}, simCfg, trials,
+			engine.Config{Workers: workers}, engine.StreamConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.Completed != trials {
+			b.Fatalf("broadcast incomplete: %d/%d", sum.Completed, sum.Trials)
+		}
+	}
+	b.ReportMetric(float64(trials), "trials/op")
+}
+
+// BenchmarkEngineReduceSequential is the single-worker streaming-reducer
+// baseline: same workload as BenchmarkEngineSequential, O(shards) memory.
+func BenchmarkEngineReduceSequential(b *testing.B) {
+	benchEngineReduce(b, 1)
+}
+
+// BenchmarkEngineReduceParallel fans the reducer's shards out over one
+// worker per CPU; the summary is bit-identical to the sequential run.
+func BenchmarkEngineReduceParallel(b *testing.B) {
+	benchEngineReduce(b, runtime.GOMAXPROCS(0))
+}
+
 // BenchmarkSimRoundLoop measures the allocation profile of the rewritten
 // delivery hot path: steady-state rounds must not allocate (allocs/op stays
 // flat in the round count, dominated by per-run setup).

@@ -2,18 +2,23 @@
 // one adversary, one collision rule. With -trials 1 it prints the outcome
 // of a single run; with -trials N it fans N independently seeded runs out
 // over the parallel trial engine and prints aggregate statistics (results
-// are identical at any -workers value).
+// are identical at any -workers value). With -stream the sweep runs on the
+// streaming reducer, which keeps memory bounded regardless of -trials —
+// million-trial sweeps run in O(1) result memory, with exact counts and
+// mean and P²-estimated quantiles (exact below the spill threshold).
 //
 // Examples:
 //
 //	dgsim -topo clique-bridge -n 33 -alg harmonic -adv greedy -rule 4 -seed 7 -v
 //	dgsim -topo geometric -n 65 -alg harmonic -adv greedy -trials 1000
+//	dgsim -topo clique-bridge -n 17 -alg harmonic -adv greedy -trials 1000000 -stream
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 
@@ -42,6 +47,7 @@ func run(args []string, w io.Writer) error {
 		verbose   = fs.Bool("v", false, "print per-node first-receive rounds (single-trial mode only)")
 		trials    = fs.Int("trials", 1, "number of independently seeded runs (per-trial seed derived from -seed and the trial index)")
 		workers   = fs.Int("workers", 0, "trial engine worker count (0 = one per CPU)")
+		stream    = fs.Bool("stream", false, "aggregate trials with the streaming reducer (memory bounded at any -trials; quantiles exact up to the spill threshold, P² estimates beyond)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +82,15 @@ func run(args []string, w io.Writer) error {
 	if *trials < 1 {
 		return fmt.Errorf("trials must be >= 1, got %d", *trials)
 	}
+	if *verbose && (*trials > 1 || *stream) {
+		// Per-node first-receive rounds exist only for a single retained
+		// run; silently dropping the flag hid this, so reject it instead.
+		return fmt.Errorf("-v prints per-node rounds of a single run and is incompatible with -trials %d%s; drop -v or use -trials 1",
+			*trials, streamSuffix(*stream))
+	}
+	if *stream {
+		return runStream(w, net, alg, adv, cfg, *topo, *rule, *start, *seed, *trials, *workers)
+	}
 	if *trials > 1 {
 		return runMany(w, net, alg, adv, cfg, *topo, *rule, *start, *seed, *trials, *workers)
 	}
@@ -93,6 +108,45 @@ func run(args []string, w io.Writer) error {
 			fmt.Fprintf(w, "  node %3d (pid %3d): first receive round %d\n", node, res.ProcOf[node], r)
 		}
 	}
+	return nil
+}
+
+func streamSuffix(stream bool) string {
+	if stream {
+		return " -stream"
+	}
+	return ""
+}
+
+// runStream executes a memory-bounded Monte Carlo sweep through the
+// streaming reducer and prints aggregate round statistics. Counts, min and
+// max are exact; mean is exact up to rounding; quantiles are exact while
+// the trial count is within the sketch's exact regime and P² estimates
+// beyond it. Output is identical at any -workers value.
+func runStream(w io.Writer, net *dualgraph.Network, alg dualgraph.Algorithm, adv dualgraph.Adversary,
+	cfg dualgraph.Config, topo string, rule int, start string, seed int64, trials, workers int) error {
+	sum, err := dualgraph.RunStream(net, alg, adv, cfg, trials,
+		dualgraph.EngineConfig{Workers: workers}, dualgraph.StreamConfig{})
+	if err != nil {
+		return err
+	}
+	stat := func(f func() (float64, error)) float64 {
+		v, err := f()
+		if err != nil {
+			return math.NaN()
+		}
+		return v
+	}
+	fmt.Fprintf(w, "topology=%s n=%d alg=%s adversary=%s rule=CR%d start=%s seed=%d trials=%d stream=true\n",
+		topo, net.N(), alg.Name(), adv.Name(), rule, start, seed, trials)
+	fmt.Fprintf(w, "completed=%d/%d rounds: min=%.0f mean=%.2f p50=%.2f p90=%.2f p95=%.2f p99=%.2f max=%.0f mean-transmissions=%.1f\n",
+		sum.Completed, sum.Trials,
+		stat(sum.Rounds.Min), stat(sum.Rounds.Mean),
+		stat(func() (float64, error) { return sum.Rounds.Quantile(0.5) }),
+		stat(func() (float64, error) { return sum.Rounds.Quantile(0.9) }),
+		stat(func() (float64, error) { return sum.Rounds.Quantile(0.95) }),
+		stat(func() (float64, error) { return sum.Rounds.Quantile(0.99) }),
+		stat(sum.Rounds.Max), stat(sum.Transmissions.Mean))
 	return nil
 }
 

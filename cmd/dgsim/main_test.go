@@ -1,6 +1,7 @@
 package main
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -73,5 +74,71 @@ func TestUnknownTopologyFails(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-topo", "nope"}, &sb); err == nil {
 		t.Fatal("expected error for unknown topology")
+	}
+}
+
+// TestStreamGolden pins the streamed aggregate line at a fixed seed: within
+// the sketch's exact regime the quantiles are computed by the same linear
+// interpolation as stats.Quantile, identically at any worker count.
+func TestStreamGolden(t *testing.T) {
+	for _, workers := range []string{"1", "2"} {
+		lines := runLines(t,
+			"-topo", "clique-bridge", "-n", "9", "-alg", "harmonic", "-adv", "greedy",
+			"-trials", "8", "-seed", "2", "-workers", workers, "-stream")
+		want := []string{
+			"topology=clique-bridge n=9 alg=harmonic(T=74) adversary=greedy-collider rule=CR4 start=async seed=2 trials=8 stream=true",
+			"completed=8/8 rounds: min=85 mean=149.38 p50=148.00 p90=201.10 p95=217.55 p99=230.71 max=234 mean-transmissions=863.8",
+		}
+		for i, w := range want {
+			if i >= len(lines) || lines[i] != w {
+				t.Fatalf("workers=%s line %d = %q, want %q", workers, i, lines[i], w)
+			}
+		}
+	}
+}
+
+// TestVerboseRejectedForSweeps is the regression test for the silently
+// dropped flag: -v only makes sense for a single retained run, so pairing
+// it with a sweep must fail loudly instead of being ignored.
+func TestVerboseRejectedForSweeps(t *testing.T) {
+	for _, args := range [][]string{
+		{"-trials", "8", "-v"},
+		{"-trials", "8", "-stream", "-v"},
+		{"-stream", "-v"},
+	} {
+		var sb strings.Builder
+		err := run(args, &sb)
+		if err == nil || !strings.Contains(err.Error(), "-v") {
+			t.Errorf("run(%v) error = %v, want a -v incompatibility error", args, err)
+		}
+		if sb.Len() != 0 {
+			t.Errorf("run(%v) produced output despite the flag error", args)
+		}
+	}
+}
+
+// TestStreamSweepBoundedMemory is the -short smoke demanded by the
+// streaming tentpole: a 100k-trial streamed dgsim sweep must retain
+// O(shards) accumulator state — not O(trials) results — so live heap stays
+// flat. (The slice path retains ~30MB of Results at this trial count.)
+func TestStreamSweepBoundedMemory(t *testing.T) {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	lines := runLines(t,
+		"-topo", "line", "-n", "6", "-alg", "uniform", "-p", "0.5", "-adv", "benign",
+		"-rule", "3", "-start", "sync", "-seed", "5", "-trials", "100000", "-stream")
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	if !strings.HasPrefix(lines[1], "completed=100000/100000 ") {
+		t.Fatalf("sweep incomplete: %q", lines[1])
+	}
+	const limit = 8 << 20
+	if grew := int64(after.HeapAlloc) - int64(before.HeapAlloc); grew > limit {
+		t.Fatalf("live heap grew %d bytes across a 100k-trial streamed sweep (limit %d): O(trials) retention", grew, limit)
 	}
 }

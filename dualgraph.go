@@ -58,6 +58,7 @@ import (
 	"dualgraph/internal/schedule"
 	"dualgraph/internal/sim"
 	"dualgraph/internal/ssf"
+	"dualgraph/internal/stats"
 )
 
 // Model types.
@@ -148,6 +149,34 @@ type DeliverySink = sim.DeliverySink
 // lowest-indexed failing trial.
 func RunMany(net *Network, alg Algorithm, adv Adversary, cfg Config, trials int, ec EngineConfig) ([]*Result, error) {
 	return engine.RunMany(net, alg, adv, cfg, trials, ec)
+}
+
+// Streaming trial aggregation (memory-bounded sweeps).
+type (
+	// Stream is an online, mergeable summary statistic accumulator:
+	// Welford mean/variance, exact min/max/count, and quantiles that are
+	// exact up to a spill threshold and P²-estimated beyond it.
+	Stream = stats.Stream
+	// StreamConfig selects the tracked quantiles and the exact-until-K
+	// spill threshold of a RunStream summary; the zero value tracks
+	// p50/p90/p95/p99 with the default threshold.
+	StreamConfig = engine.StreamConfig
+	// TrialSummary is the streaming aggregate of a RunStream sweep.
+	TrialSummary = engine.TrialSummary
+)
+
+// NewStream builds a standalone streaming accumulator (see Stream).
+var NewStream = stats.NewStream
+
+// RunStream is the memory-bounded counterpart of RunMany: the same trials,
+// worker pool, and per-trial seed derivation, but every Result is folded
+// into shard accumulators as soon as it is produced instead of being
+// retained, so a ten-million-trial sweep runs in O(1) result memory. The
+// summary is bit-identical at any worker count; counts/min/max are exact,
+// mean/variance exact up to rounding, and quantiles exact until the trial
+// count exceeds StreamConfig.ExactK (P² estimates beyond).
+func RunStream(net *Network, alg Algorithm, adv Adversary, cfg Config, trials int, ec EngineConfig, sc StreamConfig) (*TrialSummary, error) {
+	return engine.RunStream(net, alg, adv, cfg, trials, ec, sc)
 }
 
 // Graph construction.

@@ -133,3 +133,57 @@ func TestFacadeRunMany(t *testing.T) {
 		}
 	}
 }
+
+// TestFacadeRunStream checks the public streaming sweep: the summary must
+// agree with the materialized RunMany results on the same seeds, and with
+// itself at any worker count.
+func TestFacadeRunStream(t *testing.T) {
+	net, err := dualgraph.CliqueBridge(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := dualgraph.NewHarmonicForN(17, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dualgraph.Config{Seed: 5}
+	const trials = 16
+	results, err := dualgraph.RunMany(net, alg, dualgraph.GreedyCollider{}, cfg, trials,
+		dualgraph.EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref *dualgraph.TrialSummary
+	for _, workers := range []int{1, 4} {
+		sum, err := dualgraph.RunStream(net, alg, dualgraph.GreedyCollider{}, cfg, trials,
+			dualgraph.EngineConfig{Workers: workers}, dualgraph.StreamConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Trials != trials || sum.Completed != trials {
+			t.Fatalf("workers=%d: %d/%d completed, want all %d", workers, sum.Completed, sum.Trials, trials)
+		}
+		maxRounds, err := sum.Rounds.Max()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantMax := 0.0
+		for _, res := range results {
+			if r := float64(res.Rounds); r > wantMax {
+				wantMax = r
+			}
+		}
+		if maxRounds != wantMax {
+			t.Fatalf("workers=%d: streamed max rounds %v, slice path %v", workers, maxRounds, wantMax)
+		}
+		if ref == nil {
+			ref = sum
+			continue
+		}
+		refMed, _ := ref.Rounds.Median()
+		med, _ := sum.Rounds.Median()
+		if med != refMed {
+			t.Fatalf("median differs across worker counts: %v vs %v", med, refMed)
+		}
+	}
+}

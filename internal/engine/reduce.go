@@ -1,0 +1,227 @@
+// Streaming reduction: the memory-bounded counterpart of Map. Where Map
+// materializes one result per trial (O(trials) memory), Reduce folds every
+// trial's result into a shard accumulator as soon as it is produced and
+// merges the shard accumulators in shard-index order, so a million-trial
+// sweep retains O(Shards(n)) accumulators and nothing else.
+//
+// Determinism extends Map's guarantee to aggregates: the trial→shard
+// partition is a pure function of the trial count (never of the worker
+// count), each shard folds its trials in index order, and the final merge
+// walks shards in index order — so the reduced value is bit-identical at
+// any worker count, including the floating-point rounding of mean/variance
+// merges and the P² marker states.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dualgraph/internal/graph"
+	"dualgraph/internal/sim"
+	"dualgraph/internal/stats"
+)
+
+// maxShards caps the number of accumulator shards. 256 keeps the merge and
+// the retained memory trivial while still load-balancing up to 256 workers.
+const maxShards = 256
+
+// Shards returns the number of accumulator shards Reduce uses for n trials:
+// min(n, 256). It is a pure function of n, which is what makes reduced
+// aggregates independent of the worker count.
+func Shards(n int) int {
+	if n < maxShards {
+		return n
+	}
+	return maxShards
+}
+
+// shardBounds returns the half-open trial range [lo, hi) of shard s under
+// the balanced contiguous partition of 0..n-1 into `shards` blocks.
+func shardBounds(n, shards, s int) (lo, hi int) {
+	size, rem := n/shards, n%shards
+	lo = s*size + min(s, rem)
+	hi = lo + size
+	if s < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// Reduce runs fn for every trial index 0..n-1 across the worker pool and
+// folds the results into accumulators without retaining them: each shard
+// (a contiguous block of trial indices, fixed by n alone) gets a fresh
+// accumulator from newAcc, fold is called per trial in index order within
+// its shard, and the shard accumulators are merged in shard-index order
+// with merge(dst, src) — dst accumulates left to right, src is discarded.
+// The reduced value is bit-identical at any worker count. n == 0 returns a
+// fresh empty accumulator. On error Reduce reports the lowest-indexed
+// failing trial (from fn or fold) and stops claiming new shards.
+//
+// fn and fold run concurrently across shards: fn must derive randomness
+// from its trial index alone (typically via SeedFor), and fold must only
+// touch its own accumulator. merge runs sequentially after all workers
+// finish.
+func Reduce[T, A any](
+	n int, cfg Config,
+	fn func(trial int) (T, error),
+	newAcc func() A,
+	fold func(acc A, trial int, value T) error,
+	merge func(dst, src A) error,
+) (A, error) {
+	var zero A
+	if n < 0 {
+		return zero, fmt.Errorf("engine: negative trial count %d", n)
+	}
+	if n == 0 {
+		return newAcc(), nil
+	}
+	shards := Shards(n)
+	accs := make([]A, shards)
+	workers := cfg.workers()
+	if workers > shards {
+		workers = shards
+	}
+
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		firstEr trialError
+	)
+	// One code path for any worker count: the sequential case is the same
+	// shard walk on a pool of one, so fold/merge rounding is identical.
+	work := func() {
+		for !failed.Load() {
+			s := int(next.Add(1)) - 1
+			if s >= shards {
+				return
+			}
+			lo, hi := shardBounds(n, shards, s)
+			acc := newAcc()
+			for i := lo; i < hi; i++ {
+				v, err := fn(i)
+				if err == nil {
+					err = fold(acc, i, v)
+				}
+				if err != nil {
+					firstEr.record(i, err)
+					failed.Store(true)
+					break
+				}
+			}
+			accs[s] = acc
+		}
+	}
+	if workers == 1 {
+		work()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				work()
+			}()
+		}
+		wg.Wait()
+	}
+	if err := firstEr.get(); err != nil {
+		return zero, fmt.Errorf("engine: trial %d: %w", firstEr.index, err)
+	}
+	dst := accs[0]
+	for s := 1; s < shards; s++ {
+		if err := merge(dst, accs[s]); err != nil {
+			return zero, fmt.Errorf("engine: merge shard %d: %w", s, err)
+		}
+	}
+	return dst, nil
+}
+
+// StreamConfig parameterizes the summary statistics RunStream tracks.
+type StreamConfig struct {
+	// Quantiles are the tracked targets; nil means 0.5, 0.9, 0.95, 0.99.
+	Quantiles []float64
+	// ExactK is the per-accumulator exact-until-K spill threshold passed to
+	// stats.NewStream; <= 0 uses stats.DefaultExactK.
+	ExactK int
+}
+
+func (sc StreamConfig) quantiles() []float64 {
+	if len(sc.Quantiles) > 0 {
+		return sc.Quantiles
+	}
+	return []float64{0.5, 0.9, 0.95, 0.99}
+}
+
+// TrialSummary is the streaming aggregate of a Monte Carlo sweep: exact
+// trial/completion counts plus mergeable summaries of rounds and
+// transmissions (see stats.Stream for the accuracy contract).
+type TrialSummary struct {
+	// Trials counts the executions folded in.
+	Trials int64
+	// Completed counts executions in which every process received the
+	// message.
+	Completed int64
+	// Rounds summarizes Result.Rounds across trials.
+	Rounds *stats.Stream
+	// Transmissions summarizes Result.Transmissions across trials.
+	Transmissions *stats.Stream
+}
+
+func (sc StreamConfig) newSummary() *TrialSummary {
+	rounds, _ := stats.NewStream(sc.quantiles(), sc.ExactK)
+	tx, _ := stats.NewStream(sc.quantiles(), sc.ExactK)
+	return &TrialSummary{Rounds: rounds, Transmissions: tx}
+}
+
+// fold adds one execution to the summary.
+func (t *TrialSummary) fold(res *sim.Result) error {
+	t.Trials++
+	if res.Completed {
+		t.Completed++
+	}
+	if err := t.Rounds.Add(float64(res.Rounds)); err != nil {
+		return err
+	}
+	return t.Transmissions.Add(float64(res.Transmissions))
+}
+
+// Merge folds another summary into t (src unchanged).
+func (t *TrialSummary) Merge(src *TrialSummary) error {
+	t.Trials += src.Trials
+	t.Completed += src.Completed
+	if err := t.Rounds.Merge(src.Rounds); err != nil {
+		return err
+	}
+	return t.Transmissions.Merge(src.Transmissions)
+}
+
+// RunStream is the memory-bounded counterpart of RunMany: it executes
+// `trials` independent runs of one (net, alg, adv, simCfg) combination with
+// the same per-trial seed derivation — SeedFor(simCfg.Seed, i) — but folds
+// each sim.Result into shard accumulators instead of retaining it, so RSS
+// stays O(Shards(trials)) no matter how many trials run. The summary is
+// bit-identical at any worker count; its relation to the RunMany slice path
+// is exact for counts/min/max, exact up to floating-point rounding for
+// mean/variance, and within P² tolerance for quantiles once the trial count
+// exceeds sc.ExactK (below that, quantiles are exact too).
+func RunStream(net *graph.Dual, alg sim.Algorithm, adv sim.Adversary, simCfg sim.Config,
+	trials int, cfg Config, sc StreamConfig) (*TrialSummary, error) {
+	if _, err := stats.NewStream(sc.quantiles(), sc.ExactK); err != nil {
+		return nil, err
+	}
+	return Reduce(trials, cfg,
+		func(i int) (*sim.Result, error) {
+			c := simCfg
+			c.Seed = SeedFor(simCfg.Seed, i)
+			return sim.Run(net, alg, adv, c)
+		},
+		sc.newSummary,
+		func(acc *TrialSummary, _ int, res *sim.Result) error {
+			return acc.fold(res)
+		},
+		func(dst, src *TrialSummary) error {
+			return dst.Merge(src)
+		},
+	)
+}

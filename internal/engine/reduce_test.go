@@ -1,0 +1,264 @@
+package engine_test
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"dualgraph/internal/adversary"
+	"dualgraph/internal/core"
+	"dualgraph/internal/engine"
+	"dualgraph/internal/graph"
+	"dualgraph/internal/sim"
+	"dualgraph/internal/stats"
+)
+
+// intSum is a trivial accumulator for exercising Reduce's plumbing.
+type intSum struct {
+	n   int
+	sum int64
+}
+
+func reduceSum(n int, cfg engine.Config, fn func(int) (int64, error)) (*intSum, error) {
+	return engine.Reduce(n, cfg, fn,
+		func() *intSum { return &intSum{} },
+		func(a *intSum, _ int, v int64) error {
+			a.n++
+			a.sum += v
+			return nil
+		},
+		func(dst, src *intSum) error {
+			dst.n += src.n
+			dst.sum += src.sum
+			return nil
+		})
+}
+
+func TestReduceSumAnyWorkerCount(t *testing.T) {
+	const n = 10007 // prime, so shard blocks are uneven
+	var want int64
+	for i := 0; i < n; i++ {
+		want += int64(i) * int64(i)
+	}
+	for _, workers := range []int{1, 2, 3, 8, 300} {
+		acc, err := reduceSum(n, engine.Config{Workers: workers}, func(i int) (int64, error) {
+			return int64(i) * int64(i), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc.n != n || acc.sum != want {
+			t.Fatalf("workers=%d: folded %d trials sum %d, want %d trials sum %d",
+				workers, acc.n, acc.sum, n, want)
+		}
+	}
+}
+
+func TestReduceZeroAndNegativeTrials(t *testing.T) {
+	acc, err := reduceSum(0, engine.Config{}, func(int) (int64, error) { return 0, nil })
+	if err != nil || acc == nil || acc.n != 0 {
+		t.Fatalf("zero trials: acc=%+v err=%v, want fresh empty accumulator", acc, err)
+	}
+	if _, err := reduceSum(-1, engine.Config{}, func(int) (int64, error) { return 0, nil }); err == nil {
+		t.Fatal("negative trial count must error")
+	}
+}
+
+func TestReduceReportsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := reduceSum(500, engine.Config{Workers: workers}, func(i int) (int64, error) {
+			if i == 77 || i == 300 || i == 499 {
+				return 0, fmt.Errorf("%w at %d", errBoom, i)
+			}
+			return 1, nil
+		})
+		if err == nil || !errors.Is(err, errBoom) {
+			t.Fatalf("workers=%d: want errBoom, got %v", workers, err)
+		}
+		if !strings.Contains(err.Error(), "trial 77") {
+			t.Fatalf("workers=%d: error %q must name the lowest failing trial", workers, err)
+		}
+	}
+}
+
+func TestReduceFoldErrorsPropagate(t *testing.T) {
+	_, err := engine.Reduce(100, engine.Config{Workers: 3},
+		func(i int) (float64, error) {
+			if i == 42 {
+				return math.NaN(), nil
+			}
+			return float64(i), nil
+		},
+		func() *stats.Stream {
+			s, _ := stats.NewStream(nil, 0)
+			return s
+		},
+		func(s *stats.Stream, _ int, v float64) error { return s.Add(v) },
+		func(dst, src *stats.Stream) error { return dst.Merge(src) })
+	if err == nil || !errors.Is(err, stats.ErrNaN) {
+		t.Fatalf("fold error must surface with its trial index, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "trial 42") {
+		t.Fatalf("error %q must name trial 42", err)
+	}
+}
+
+func TestShardsPureFunctionOfN(t *testing.T) {
+	if got := engine.Shards(10); got != 10 {
+		t.Errorf("Shards(10) = %d, want one shard per trial below the cap", got)
+	}
+	if got := engine.Shards(1_000_000); got != 256 {
+		t.Errorf("Shards(1e6) = %d, want the 256 cap", got)
+	}
+}
+
+// streamWorkload is the randomized sweep used by the RunStream tests.
+func streamWorkload(t testing.TB) (*graph.Dual, sim.Algorithm, sim.Adversary, sim.Config) {
+	t.Helper()
+	d, err := graph.CliqueBridge(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := core.NewHarmonicForN(15, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := adversary.NewRandom(0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, alg, adv, sim.Config{Rule: sim.CR4, Start: sim.AsyncStart, Seed: 99}
+}
+
+// TestRunStreamDeterministicAcrossWorkerCounts is the reducer's core
+// guarantee: the summary — including every floating-point bit of the
+// Welford moments and the P² marker states — is identical at any worker
+// count, because the trial→shard partition and the merge order are pure
+// functions of the trial count.
+func TestRunStreamDeterministicAcrossWorkerCounts(t *testing.T) {
+	d, alg, adv, simCfg := streamWorkload(t)
+	// 600 trials with ExactK 32 forces shard merges through every regime,
+	// including P² marker merges.
+	sc := engine.StreamConfig{ExactK: 32}
+	var ref *engine.TrialSummary
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		sum, err := engine.RunStream(d, alg, adv, simCfg, 600, engine.Config{Workers: workers}, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = sum
+			continue
+		}
+		if !reflect.DeepEqual(sum, ref) {
+			t.Fatalf("workers=%d: summary diverged from workers=1", workers)
+		}
+	}
+}
+
+// TestRunStreamMatchesRunMany cross-checks the streaming path against the
+// slice path on the same seeds: counts, min and max must agree exactly,
+// the mean up to rounding, and — while within the exact regime — the
+// quantiles must equal stats.Quantile over the materialized rounds.
+func TestRunStreamMatchesRunMany(t *testing.T) {
+	d, alg, adv, simCfg := streamWorkload(t)
+	const trials = 300
+	results, err := engine.RunMany(d, alg, adv, simCfg, trials, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := engine.RunStream(d, alg, adv, simCfg, trials, engine.Config{}, engine.StreamConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rounds := make([]float64, 0, trials)
+	var completed int64
+	var txTotal float64
+	for _, res := range results {
+		if res.Completed {
+			completed++
+		}
+		rounds = append(rounds, float64(res.Rounds))
+		txTotal += float64(res.Transmissions)
+	}
+	if sum.Trials != trials || sum.Completed != completed {
+		t.Fatalf("counts: got %d/%d, want %d/%d", sum.Completed, sum.Trials, completed, trials)
+	}
+	if !sum.Rounds.Exact() {
+		t.Fatal("300 trials under the default ExactK must stay exact")
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.95, 0.99, 1} {
+		want, err := stats.Quantile(rounds, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sum.Rounds.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("q=%v: stream %v != slice-path %v", q, got, want)
+		}
+	}
+	gotMean, _ := sum.Transmissions.Mean()
+	if want := txTotal / trials; math.Abs(gotMean-want) > 1e-9*want {
+		t.Errorf("mean transmissions: stream %v != slice-path %v", gotMean, want)
+	}
+}
+
+// TestRunStreamP2WithinToleranceOfSlicePath pushes past the exact regime
+// and checks the documented accuracy contract against the exact slice-path
+// quantiles: each P² estimate must fall between the exact (q-0.02)- and
+// (q+0.02)-quantiles of the materialized sample.
+func TestRunStreamP2WithinToleranceOfSlicePath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-checking thousands of trials is slow")
+	}
+	d, alg, adv, simCfg := streamWorkload(t)
+	const trials = 4000
+	results, err := engine.RunMany(d, alg, adv, simCfg, trials, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := engine.StreamConfig{ExactK: 256}
+	sum, err := engine.RunStream(d, alg, adv, simCfg, trials, engine.Config{}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Rounds.Exact() {
+		t.Fatal("4000 trials past ExactK=256 must have spilled")
+	}
+	rounds := make([]float64, trials)
+	for i, res := range results {
+		rounds[i] = float64(res.Rounds)
+	}
+	sort.Float64s(rounds)
+	// Band of exact neighbouring quantiles, widened by one round: rounds
+	// are integers, so on a nearly-atomic distribution the band can be a
+	// single point while P² interpolates between atoms (e.g. 1.999 vs 2).
+	const eps = 0.02
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		got, err := sum.Rounds.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, _ := stats.Quantile(rounds, math.Max(0, q-eps))
+		hi, _ := stats.Quantile(rounds, math.Min(1, q+eps))
+		if got < lo-1 || got > hi+1 {
+			t.Errorf("q=%v: P² estimate %v outside exact band [%v, %v]±1", q, got, lo, hi)
+		}
+	}
+	gotMax, _ := sum.Rounds.Max()
+	if want := rounds[len(rounds)-1]; gotMax != want {
+		t.Errorf("max: stream %v != slice-path %v", gotMax, want)
+	}
+}
+
+// The 100k-trial bounded-memory smoke lives in cmd/dgsim's test suite
+// (TestStreamSweepBoundedMemory), where it exercises this package's
+// RunStream end to end through the CLI path.

@@ -99,11 +99,21 @@ func header(w io.Writer, e Experiment) {
 	fmt.Fprintf(w, "== %s — %s\n   paper: %s\n", e.ID, e.Title, e.PaperRef)
 }
 
-// medianRounds fans `trials` independent executions out over the engine and
-// returns the median and maximum completion round. Executions that do not
-// complete count as maxRounds. Trial i's seed is cfg.Seed + i*104729, a pure
-// function of the trial index, so the aggregate is identical at any worker
-// count (and to the historical sequential loop).
+// roundsAcc is the per-shard accumulator of medianRounds: a streaming
+// summary of per-trial completion rounds plus the completion tally.
+type roundsAcc struct {
+	rounds    *stats.Stream
+	completed int
+}
+
+// medianRounds fans `trials` independent executions out over the engine's
+// streaming reducer and returns the median and maximum completion round
+// without retaining per-trial results. Executions that do not complete
+// count as maxRounds. Trial i's seed is cfg.Seed + i*104729, a pure
+// function of the trial index, and shard merges run in shard-index order,
+// so the aggregate is identical at any worker count (and — at trial counts
+// within the sketch's exact regime, which covers every registered
+// experiment — byte-identical to the historical slice path).
 func medianRounds(
 	ec engine.Config,
 	d *graph.Dual,
@@ -112,33 +122,41 @@ func medianRounds(
 	cfg sim.Config,
 	trials int,
 ) (median, maxRound float64, completed int, err error) {
-	results, err := engine.Map(trials, ec, func(i int) (*sim.Result, error) {
-		c := cfg
-		c.Seed = cfg.Seed + int64(i)*104729
-		return sim.Run(d, alg, adv, c)
-	})
+	acc, err := engine.Reduce(trials, ec,
+		func(i int) (*sim.Result, error) {
+			c := cfg
+			c.Seed = cfg.Seed + int64(i)*104729
+			return sim.Run(d, alg, adv, c)
+		},
+		func() *roundsAcc {
+			s, _ := stats.NewStream([]float64{0.5}, 0)
+			return &roundsAcc{rounds: s}
+		},
+		func(a *roundsAcc, _ int, res *sim.Result) error {
+			r := float64(res.Rounds)
+			if !res.Completed {
+				r = float64(cfg.MaxRounds)
+			} else {
+				a.completed++
+			}
+			return a.rounds.Add(r)
+		},
+		func(dst, src *roundsAcc) error {
+			dst.completed += src.completed
+			return dst.rounds.Merge(src.rounds)
+		})
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	rounds := make([]float64, 0, trials)
-	for _, res := range results {
-		r := float64(res.Rounds)
-		if !res.Completed {
-			r = float64(cfg.MaxRounds)
-		} else {
-			completed++
-		}
-		rounds = append(rounds, r)
-	}
-	median, err = stats.Median(rounds)
+	median, err = acc.rounds.Median()
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	maxRound, err = stats.Max(rounds)
+	maxRound, err = acc.rounds.Max()
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	return median, maxRound, completed, nil
+	return median, maxRound, acc.completed, nil
 }
 
 // sweepSizes returns the n sweep for scaling experiments.

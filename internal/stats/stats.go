@@ -12,6 +12,15 @@ import (
 // ErrEmpty is returned when a statistic of an empty sample is requested.
 var ErrEmpty = errors.New("empty sample")
 
+// ErrInsufficient is returned when a sample is non-empty but still too small
+// for the requested statistic (e.g. Stddev of a single value).
+var ErrInsufficient = errors.New("insufficient sample")
+
+// ErrNaN is returned when a sample (or a streamed value) contains NaN, which
+// has no place in an order statistic: NaN compares false against everything,
+// so it silently corrupts sort-based quantiles instead of failing loudly.
+var ErrNaN = errors.New("sample contains NaN")
+
 // Mean returns the arithmetic mean of xs.
 func Mean(xs []float64) (float64, error) {
 	if len(xs) == 0 {
@@ -24,10 +33,14 @@ func Mean(xs []float64) (float64, error) {
 	return sum / float64(len(xs)), nil
 }
 
-// Stddev returns the sample standard deviation of xs.
+// Stddev returns the sample standard deviation of xs. An empty sample is
+// ErrEmpty; a one-element sample has no deviation and is ErrInsufficient.
 func Stddev(xs []float64) (float64, error) {
-	if len(xs) < 2 {
+	if len(xs) == 0 {
 		return 0, ErrEmpty
+	}
+	if len(xs) < 2 {
+		return 0, ErrInsufficient
 	}
 	m, err := Mean(xs)
 	if err != nil {
@@ -46,13 +59,21 @@ func Median(xs []float64) (float64, error) {
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
-// interpolation between order statistics.
+// interpolation between order statistics. A sample containing NaN is
+// rejected with ErrNaN rather than silently producing a garbage order.
 func Quantile(xs []float64, q float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
 	}
-	if q < 0 || q > 1 {
+	// NaN fails every comparison, so `q < 0 || q > 1` alone would let it
+	// through and index the slice with int(NaN).
+	if math.IsNaN(q) || q < 0 || q > 1 {
 		return 0, errors.New("quantile out of [0,1]")
+	}
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return 0, ErrNaN
+		}
 	}
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
@@ -102,8 +123,11 @@ func LinearFit(xs, ys []float64) (slope, intercept float64, err error) {
 	if len(xs) != len(ys) {
 		return 0, 0, errors.New("length mismatch")
 	}
-	if len(xs) < 2 {
+	if len(xs) == 0 {
 		return 0, 0, ErrEmpty
+	}
+	if len(xs) < 2 {
+		return 0, 0, ErrInsufficient
 	}
 	n := float64(len(xs))
 	var sx, sy, sxx, sxy float64

@@ -26,6 +26,29 @@ func TestMeanEmpty(t *testing.T) {
 	}
 }
 
+// TestQuantileRejectsNaN is the regression test for NaN poisoning: NaN
+// compares false against everything, so sort.Float64s produces an arbitrary
+// order and Quantile silently returned garbage instead of an error.
+func TestQuantileRejectsNaN(t *testing.T) {
+	for _, xs := range [][]float64{
+		{math.NaN()},
+		{1, 2, math.NaN(), 4},
+		{math.NaN(), math.NaN()},
+	} {
+		if _, err := Quantile(xs, 0.5); !errors.Is(err, ErrNaN) {
+			t.Errorf("Quantile(%v) error = %v, want ErrNaN", xs, err)
+		}
+		if _, err := Median(xs); !errors.Is(err, ErrNaN) {
+			t.Errorf("Median(%v) error = %v, want ErrNaN", xs, err)
+		}
+	}
+	// A NaN q must also be rejected: it passes `q < 0 || q > 1` because NaN
+	// fails every comparison.
+	if _, err := Quantile([]float64{1, 2, 3}, math.NaN()); err == nil {
+		t.Error("Quantile with NaN q must error")
+	}
+}
+
 func TestStddev(t *testing.T) {
 	got, err := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
 	if err != nil {
@@ -33,6 +56,31 @@ func TestStddev(t *testing.T) {
 	}
 	if !almostEqual(got, 2.138, 0.001) {
 		t.Fatalf("Stddev = %v, want ~2.138", got)
+	}
+}
+
+// TestStddevInsufficientVsEmpty pins the error split: an empty sample is
+// ErrEmpty, a one-element sample (which has no deviation) is the distinct
+// ErrInsufficient rather than the misleading ErrEmpty.
+func TestStddevInsufficientVsEmpty(t *testing.T) {
+	if _, err := Stddev(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Stddev(nil) error = %v, want ErrEmpty", err)
+	}
+	_, err := Stddev([]float64{3})
+	if !errors.Is(err, ErrInsufficient) {
+		t.Errorf("Stddev(one element) error = %v, want ErrInsufficient", err)
+	}
+	if errors.Is(err, ErrEmpty) {
+		t.Error("Stddev(one element) must not report ErrEmpty")
+	}
+}
+
+func TestLinearFitInsufficientVsEmpty(t *testing.T) {
+	if _, _, err := LinearFit(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("LinearFit(empty) error = %v, want ErrEmpty", err)
+	}
+	if _, _, err := LinearFit([]float64{1}, []float64{1}); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("LinearFit(one point) error = %v, want ErrInsufficient", err)
 	}
 }
 

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-short race bench-smoke bench-json ci
+.PHONY: all build vet fmt-check staticcheck test test-short race bench-smoke bench-json ci
 
 all: build
 
@@ -18,6 +18,16 @@ fmt-check:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Static analysis beyond go vet. CI installs the pinned staticcheck before
+# calling this; locally the target degrades to a notice when the binary is
+# absent (the build container deliberately has no network to install it).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2025.1.1 to enable)"; \
 	fi
 
 test:
@@ -39,17 +49,19 @@ race:
 bench-smoke:
 	$(GO) test -run NONE -bench 'BenchmarkEngine|BenchmarkSimRoundLoop' -benchtime 3x .
 
-# The perf-trajectory artifact: hot-path, reducer, and graph-layer
-# benchmarks parsed into BENCH_pr3.json (benchmark name -> ns/op, B/op,
+# The perf-trajectory artifact: hot-path, reducer, grid, and graph-layer
+# benchmarks parsed into BENCH_pr4.json (benchmark name -> ns/op, B/op,
 # allocs/op, custom metrics). The 'BenchmarkEngine' pattern covers both the
 # slice path (EngineSequential/Parallel) and the streaming reducer
-# (EngineReduceSequential/Parallel). CI uploads the file so the trend is
-# comparable across PRs.
+# (EngineReduceSequential/Parallel); 'BenchmarkGridSweep' captures
+# cross-cell parallel throughput of the declarative grid runner vs
+# sequential cells. CI uploads the file so the trend is comparable across
+# PRs.
 bench-json:
-	$(GO) test -run NONE -bench 'BenchmarkEngine|BenchmarkSimRoundLoop' -benchmem -benchtime 3x . > bench_raw.txt
+	$(GO) test -run NONE -bench 'BenchmarkEngine|BenchmarkSimRoundLoop|BenchmarkGridSweep' -benchmem -benchtime 3x . > bench_raw.txt
 	$(GO) test -run NONE -bench 'BenchmarkGraphConstruction|BenchmarkUnreliableMembership|BenchmarkGeometricBuild100k|BenchmarkPreferentialAttachmentBuild100k' -benchmem -benchtime 3x ./internal/graph/ >> bench_raw.txt
-	$(GO) run ./cmd/benchjson < bench_raw.txt > BENCH_pr3.json
+	$(GO) run ./cmd/benchjson < bench_raw.txt > BENCH_pr4.json
 	@rm -f bench_raw.txt
-	@echo "wrote BENCH_pr3.json"
+	@echo "wrote BENCH_pr4.json"
 
-ci: build vet fmt-check test race
+ci: build vet fmt-check staticcheck test race

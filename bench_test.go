@@ -537,3 +537,50 @@ func BenchmarkExperimentsQuick(b *testing.B) {
 type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// benchGridSweep executes a 4-cell × 16-trial declarative grid (two
+// topologies × two algorithms of the Table 1/2 workloads) through
+// Sweep.Run. Work is fanned out at (cell, shard) granularity, so the
+// parallel variant exercises cross-cell parallelism on top of within-cell
+// sharding; the GridResult is bit-identical between the two variants.
+func benchGridSweep(b *testing.B, workers int) {
+	b.Helper()
+	base, err := dualgraph.NewScenario(dualgraph.WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sweep := dualgraph.Sweep{
+		Base:       base,
+		Topologies: []dualgraph.Choice{{Name: "clique-bridge"}, {Name: "complete-layered"}},
+		Algorithms: []dualgraph.Choice{{Name: "harmonic"}, {Name: "strong-select"}},
+		Ns:         []int{17},
+		Trials:     16,
+	}
+	cells := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		grid, err := sweep.Run(dualgraph.EngineConfig{Workers: workers}, dualgraph.StreamConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells = len(grid.Cells)
+		for _, cr := range grid.Cells {
+			if cr.Summary.Completed != cr.Summary.Trials {
+				b.Fatalf("cell %s incomplete: %d/%d", cr.Cell.Label, cr.Summary.Completed, cr.Summary.Trials)
+			}
+		}
+	}
+	b.ReportMetric(float64(cells*sweep.Trials), "trials/op")
+}
+
+// BenchmarkGridSweepSequential runs the grid's cells on a single worker:
+// the sequential-cells baseline for cross-cell throughput.
+func BenchmarkGridSweepSequential(b *testing.B) {
+	benchGridSweep(b, 1)
+}
+
+// BenchmarkGridSweepParallel fans the same (cell, shard) units over one
+// worker per CPU; output is bit-identical to the sequential run.
+func BenchmarkGridSweepParallel(b *testing.B) {
+	benchGridSweep(b, runtime.GOMAXPROCS(0))
+}

@@ -25,6 +25,7 @@ import (
 	"dualgraph/internal/engine"
 	"dualgraph/internal/expt"
 	"dualgraph/internal/graph"
+	"dualgraph/internal/registry"
 	"dualgraph/internal/sim"
 	"dualgraph/internal/stats"
 )
@@ -44,9 +45,25 @@ func run(args []string, w io.Writer) error {
 		seed        = fs.Int64("seed", 1, "random seed")
 		workers     = fs.Int("workers", 0, "trial engine worker count (0 = one per CPU); output is identical at any value")
 		reduceBench = fs.Int("reduce-bench", 0, "if > 0, skip experiments and measure streaming-reducer throughput over this many trials")
+		list        = fs.Bool("list", false, "print registered topologies/algorithms/adversaries with parameter docs, then exit (use -experiment list for the experiment index)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		// -list is a pure query; reject any other explicitly-set flag
+		// instead of silently ignoring it (the reduce-bench policy).
+		conflict := ""
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name != "list" {
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			return fmt.Errorf("-list prints the registry and runs nothing; drop -%s", conflict)
+		}
+		registry.WriteList(w)
+		return nil
 	}
 	if *reduceBench > 0 {
 		// Reject explicitly-set experiment flags rather than silently

@@ -27,6 +27,34 @@ func TestListIncludesEveryExperiment(t *testing.T) {
 	}
 }
 
+// TestRegistryList golden-checks -list: the shared registry rendering with
+// entry and parameter doc lines (the full format is pinned in
+// internal/registry's tests; here we pin the CLI wiring and one line of
+// each kind).
+func TestRegistryList(t *testing.T) {
+	out := runOutput(t, "-list")
+	for _, want := range []string{
+		"topologies:",
+		"algorithms:",
+		"adversaries:",
+		"  clique-bridge      Theorem 2 network: (n-1)-clique with a receiver behind a bridge; G' complete",
+		"      epsilon          float  failure probability in the paper's T = ceil(12 ln(n/ε)) (default 0.02)",
+		"  benign             never uses unreliable edges (the classical static model)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryListRejectsOtherFlags(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-list", "-experiment", "all"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "-experiment") {
+		t.Fatalf("err = %v, want an -experiment conflict error", err)
+	}
+}
+
 func TestSSFExperimentGolden(t *testing.T) {
 	out := runOutput(t, "-experiment", "fig-ssf-size", "-quick", "-seed", "1")
 	lines := strings.Split(out, "\n")

@@ -1,20 +1,27 @@
-// Command dgsim runs broadcast simulations: one topology, one algorithm,
-// one adversary, one collision rule. With -trials 1 it prints the outcome
-// of a single run; with -trials N it fans N independently seeded runs out
-// over the parallel trial engine and prints aggregate statistics (results
-// are identical at any -workers value). With -stream the sweep runs on the
-// streaming reducer, which keeps memory bounded regardless of -trials —
-// million-trial sweeps run in O(1) result memory, with exact counts and
-// mean and P²-estimated quantiles (exact below the spill threshold).
+// Command dgsim runs broadcast simulations, from one cell to a whole grid.
+// Topologies, algorithms, and adversaries are addressed by registry name
+// (`dgsim -list` prints every name with its parameter docs).
+//
+// With -trials 1 it prints the outcome of a single run; with -trials N it
+// fans N independently seeded runs out over the parallel trial engine and
+// prints aggregate statistics (results are identical at any -workers
+// value). With -stream the sweep runs on the streaming reducer, which keeps
+// memory bounded regardless of -trials. With -spec file.json the flags are
+// replaced by a declarative sweep file: the whole Cartesian grid executes
+// as one parallel run, one aggregate line per cell, bit-identical at any
+// -workers value.
 //
 // Examples:
 //
 //	dgsim -topo clique-bridge -n 33 -alg harmonic -adv greedy -rule 4 -seed 7 -v
 //	dgsim -topo geometric -n 65 -alg harmonic -adv greedy -trials 1000
 //	dgsim -topo clique-bridge -n 17 -alg harmonic -adv greedy -trials 1000000 -stream
+//	dgsim -spec sweep.json -workers 8
+//	dgsim -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -35,10 +42,10 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("dgsim", flag.ContinueOnError)
 	var (
-		topo      = fs.String("topo", "clique-bridge", "topology: clique-bridge|complete-layered|line|star|complete|tree|grid|random|geometric|pa")
+		topo      = fs.String("topo", "clique-bridge", "topology name (see -list)")
 		n         = fs.Int("n", 33, "network size")
-		algName   = fs.String("alg", "harmonic", "algorithm: strong-select|harmonic|round-robin|decay|uniform")
-		advName   = fs.String("adv", "greedy", "adversary: benign|random|greedy|full")
+		algName   = fs.String("alg", "harmonic", "algorithm name (see -list)")
+		advName   = fs.String("adv", "greedy", "adversary name (see -list)")
 		rule      = fs.Int("rule", 4, "collision rule 1..4")
 		start     = fs.String("start", "async", "start rule: sync|async")
 		seed      = fs.Int64("seed", 1, "random seed")
@@ -48,35 +55,78 @@ func run(args []string, w io.Writer) error {
 		trials    = fs.Int("trials", 1, "number of independently seeded runs (per-trial seed derived from -seed and the trial index)")
 		workers   = fs.Int("workers", 0, "trial engine worker count (0 = one per CPU)")
 		stream    = fs.Bool("stream", false, "aggregate trials with the streaming reducer (memory bounded at any -trials; quantiles exact up to the spill threshold, P² estimates beyond)")
+		specPath  = fs.String("spec", "", "run the declarative sweep in this JSON file instead of the cell flags")
+		list      = fs.Bool("list", false, "print registered topologies/algorithms/adversaries with parameter docs, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	pSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "p" {
+			pSet = true
+		}
+	})
+	if *list {
+		// -list is a pure query; any other explicitly-set flag was a
+		// mistake, so reject it instead of silently ignoring it.
+		conflict := ""
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name != "list" {
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			return fmt.Errorf("-list prints the registry and runs nothing; drop -%s", conflict)
+		}
+		dualgraph.WriteRegistry(w)
+		return nil
+	}
+	if *specPath != "" {
+		// The spec file is the whole experiment; reject explicitly-set cell
+		// flags instead of silently ignoring them.
+		conflict := ""
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "spec", "workers":
+			default:
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			return fmt.Errorf("-spec runs a self-contained sweep file; drop -%s", conflict)
+		}
+		return runSpec(w, *specPath, *workers)
+	}
 
-	net, err := buildTopology(*topo, *n, *seed)
-	if err != nil {
-		return err
-	}
-	alg, err := buildAlgorithm(*algName, net.N(), *p)
-	if err != nil {
-		return err
-	}
-	adv, err := buildAdversary(*advName, *p)
-	if err != nil {
-		return err
-	}
-	cfg := dualgraph.Config{
-		Rule:      dualgraph.CollisionRule(*rule),
-		MaxRounds: *maxRounds,
-		Seed:      *seed,
-	}
-	switch *start {
-	case "sync":
-		cfg.Start = dualgraph.SyncStart
-	case "async":
-		cfg.Start = dualgraph.AsyncStart
-	default:
+	if startRule(*start) == 0 {
 		return fmt.Errorf("unknown start rule %q", *start)
+	}
+	algP := pParams(dualgraph.AlgorithmInfo, *algName, *p)
+	advP := pParams(dualgraph.AdversaryInfo, *advName, *p)
+	sc, err := dualgraph.NewScenario(
+		dualgraph.WithTopology(*topo, nil),
+		dualgraph.WithN(*n),
+		dualgraph.WithAlgorithm(*algName, algP),
+		dualgraph.WithAdversary(*advName, advP),
+		dualgraph.WithCollisionRule(dualgraph.CollisionRule(*rule)),
+		dualgraph.WithStart(startRule(*start)),
+		dualgraph.WithSeed(*seed),
+		dualgraph.WithMaxRounds(*maxRounds),
+	)
+	if err != nil {
+		return err
+	}
+	if pSet && algP == nil && advP == nil {
+		// Names are valid (validation above would have produced the typed
+		// suggestion error otherwise) but neither schema documents a "p"
+		// parameter: reject rather than silently drop the flag.
+		return fmt.Errorf("-p applies to entries with a %q parameter (see -list); neither algorithm %q nor adversary %q takes one",
+			"p", *algName, *advName)
+	}
+	built, err := sc.Build()
+	if err != nil {
+		return err
 	}
 
 	if *trials < 1 {
@@ -89,24 +139,47 @@ func run(args []string, w io.Writer) error {
 			*trials, streamSuffix(*stream))
 	}
 	if *stream {
-		return runStream(w, net, alg, adv, cfg, *topo, *rule, *start, *seed, *trials, *workers)
+		return runStream(w, built, *topo, *rule, *start, *seed, *trials, *workers)
 	}
 	if *trials > 1 {
-		return runMany(w, net, alg, adv, cfg, *topo, *rule, *start, *seed, *trials, *workers)
+		return runMany(w, built, *topo, *rule, *start, *seed, *trials, *workers)
 	}
 
-	res, err := dualgraph.Run(net, alg, adv, cfg)
+	res, err := built.Run()
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "topology=%s n=%d alg=%s adversary=%s rule=CR%d start=%s seed=%d\n",
-		*topo, net.N(), alg.Name(), adv.Name(), *rule, *start, *seed)
+		*topo, built.Net.N(), built.Alg.Name(), built.Adv.Name(), *rule, *start, *seed)
 	fmt.Fprintf(w, "completed=%v rounds=%d transmissions=%d eccentricity=%d\n",
-		res.Completed, res.Rounds, res.Transmissions, net.Eccentricity())
+		res.Completed, res.Rounds, res.Transmissions, built.Net.Eccentricity())
 	if *verbose {
 		for node, r := range res.FirstReceive {
 			fmt.Fprintf(w, "  node %3d (pid %3d): first receive round %d\n", node, res.ProcOf[node], r)
 		}
+	}
+	return nil
+}
+
+// startRule maps the flag string; an unknown value yields 0, which scenario
+// validation rejects with a clear message.
+func startRule(s string) dualgraph.StartRule {
+	switch s {
+	case "sync":
+		return dualgraph.SyncStart
+	case "async":
+		return dualgraph.AsyncStart
+	}
+	return 0
+}
+
+// pParams routes the -p flag by the registry's own parameter schema: the
+// named entry receives it exactly when its schema documents a "p"
+// parameter. Unknown names return nil and fail scenario validation later
+// with the registry's suggestion-bearing error.
+func pParams(info func(string) (dualgraph.RegistryEntry, bool), name string, p float64) dualgraph.Params {
+	if e, ok := info(name); ok && e.AcceptsParam("p") {
+		return dualgraph.Params{"p": p}
 	}
 	return nil
 }
@@ -118,18 +191,31 @@ func streamSuffix(stream bool) string {
 	return ""
 }
 
-// runStream executes a memory-bounded Monte Carlo sweep through the
-// streaming reducer and prints aggregate round statistics. Counts, min and
-// max are exact; mean is exact up to rounding; quantiles are exact while
-// the trial count is within the sketch's exact regime and P² estimates
-// beyond it. Output is identical at any -workers value.
-func runStream(w io.Writer, net *dualgraph.Network, alg dualgraph.Algorithm, adv dualgraph.Adversary,
-	cfg dualgraph.Config, topo string, rule int, start string, seed int64, trials, workers int) error {
-	sum, err := dualgraph.RunStream(net, alg, adv, cfg, trials,
-		dualgraph.EngineConfig{Workers: workers}, dualgraph.StreamConfig{})
+// runSpec executes a declarative sweep file: every cell of the Cartesian
+// grid runs Trials times on the shared worker pool, and one aggregate line
+// prints per cell. The whole output is bit-identical at any -workers value.
+func runSpec(w io.Writer, path string, workers int) error {
+	blob, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
+	var sw dualgraph.Sweep
+	if err := json.Unmarshal(blob, &sw); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	grid, err := sw.Run(dualgraph.EngineConfig{Workers: workers}, dualgraph.StreamConfig{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "grid: cells=%d trials-per-cell=%d\n", len(grid.Cells), grid.Trials)
+	for _, cr := range grid.Cells {
+		fmt.Fprintf(w, "%s: %s\n", cr.Cell.Label, summaryLine(cr.Summary))
+	}
+	return nil
+}
+
+// summaryLine renders one streamed aggregate in the -stream format.
+func summaryLine(sum *dualgraph.TrialSummary) string {
 	stat := func(f func() (float64, error)) float64 {
 		v, err := f()
 		if err != nil {
@@ -137,9 +223,7 @@ func runStream(w io.Writer, net *dualgraph.Network, alg dualgraph.Algorithm, adv
 		}
 		return v
 	}
-	fmt.Fprintf(w, "topology=%s n=%d alg=%s adversary=%s rule=CR%d start=%s seed=%d trials=%d stream=true\n",
-		topo, net.N(), alg.Name(), adv.Name(), rule, start, seed, trials)
-	fmt.Fprintf(w, "completed=%d/%d rounds: min=%.0f mean=%.2f p50=%.2f p90=%.2f p95=%.2f p99=%.2f max=%.0f mean-transmissions=%.1f\n",
+	return fmt.Sprintf("completed=%d/%d rounds: min=%.0f mean=%.2f p50=%.2f p90=%.2f p95=%.2f p99=%.2f max=%.0f mean-transmissions=%.1f",
 		sum.Completed, sum.Trials,
 		stat(sum.Rounds.Min), stat(sum.Rounds.Mean),
 		stat(func() (float64, error) { return sum.Rounds.Quantile(0.5) }),
@@ -147,14 +231,28 @@ func runStream(w io.Writer, net *dualgraph.Network, alg dualgraph.Algorithm, adv
 		stat(func() (float64, error) { return sum.Rounds.Quantile(0.95) }),
 		stat(func() (float64, error) { return sum.Rounds.Quantile(0.99) }),
 		stat(sum.Rounds.Max), stat(sum.Transmissions.Mean))
+}
+
+// runStream executes a memory-bounded Monte Carlo sweep through the
+// streaming reducer and prints aggregate round statistics. Counts, min and
+// max are exact; mean is exact up to rounding; quantiles are exact while
+// the trial count is within the sketch's exact regime and P² estimates
+// beyond it. Output is identical at any -workers value.
+func runStream(w io.Writer, b *dualgraph.BuiltScenario, topo string, rule int, start string, seed int64, trials, workers int) error {
+	sum, err := b.RunStream(trials, dualgraph.EngineConfig{Workers: workers}, dualgraph.StreamConfig{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "topology=%s n=%d alg=%s adversary=%s rule=CR%d start=%s seed=%d trials=%d stream=true\n",
+		topo, b.Net.N(), b.Alg.Name(), b.Adv.Name(), rule, start, seed, trials)
+	fmt.Fprintf(w, "%s\n", summaryLine(sum))
 	return nil
 }
 
 // runMany executes a Monte Carlo sweep through the parallel trial engine
 // and prints aggregate round statistics.
-func runMany(w io.Writer, net *dualgraph.Network, alg dualgraph.Algorithm, adv dualgraph.Adversary,
-	cfg dualgraph.Config, topo string, rule int, start string, seed int64, trials, workers int) error {
-	results, err := dualgraph.RunMany(net, alg, adv, cfg, trials, dualgraph.EngineConfig{Workers: workers})
+func runMany(w io.Writer, b *dualgraph.BuiltScenario, topo string, rule int, start string, seed int64, trials, workers int) error {
+	results, err := b.RunMany(trials, dualgraph.EngineConfig{Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -171,70 +269,9 @@ func runMany(w io.Writer, net *dualgraph.Network, alg dualgraph.Algorithm, adv d
 	sort.Ints(rounds)
 	pct := func(q float64) int { return rounds[int(q*float64(len(rounds)-1))] }
 	fmt.Fprintf(w, "topology=%s n=%d alg=%s adversary=%s rule=CR%d start=%s seed=%d trials=%d\n",
-		topo, net.N(), alg.Name(), adv.Name(), rule, start, seed, trials)
+		topo, b.Net.N(), b.Alg.Name(), b.Adv.Name(), rule, start, seed, trials)
 	fmt.Fprintf(w, "completed=%d/%d rounds: min=%d p50=%d p90=%d p99=%d max=%d mean-transmissions=%.1f\n",
 		completed, trials, rounds[0], pct(0.50), pct(0.90), pct(0.99),
 		rounds[len(rounds)-1], float64(totalTx)/float64(trials))
 	return nil
-}
-
-func buildTopology(name string, n int, seed int64) (*dualgraph.Network, error) {
-	rng := dualgraph.NewRand(seed)
-	switch name {
-	case "clique-bridge":
-		return dualgraph.CliqueBridge(n)
-	case "complete-layered":
-		return dualgraph.CompleteLayered(n)
-	case "line":
-		return dualgraph.Line(n)
-	case "star":
-		return dualgraph.Star(n)
-	case "complete":
-		return dualgraph.Complete(n)
-	case "tree":
-		return dualgraph.BinaryTree(n)
-	case "grid":
-		side := 1
-		for side*side < n {
-			side++
-		}
-		return dualgraph.Grid(side, side, 2, 0.3, rng)
-	case "random":
-		return dualgraph.RandomDual(n, 0.12, 0.35, rng)
-	case "geometric":
-		return dualgraph.Geometric(n, 0.28, 0.7, rng)
-	case "pa":
-		return dualgraph.PreferentialAttachment(n, 3, 0.5, rng)
-	}
-	return nil, fmt.Errorf("unknown topology %q", name)
-}
-
-func buildAlgorithm(name string, n int, p float64) (dualgraph.Algorithm, error) {
-	switch name {
-	case "strong-select":
-		return dualgraph.NewStrongSelect(n)
-	case "harmonic":
-		return dualgraph.NewHarmonicForN(n, 0.02)
-	case "round-robin":
-		return dualgraph.NewRoundRobin(), nil
-	case "decay":
-		return dualgraph.NewDecay(), nil
-	case "uniform":
-		return dualgraph.NewUniform(p)
-	}
-	return nil, fmt.Errorf("unknown algorithm %q", name)
-}
-
-func buildAdversary(name string, p float64) (dualgraph.Adversary, error) {
-	switch name {
-	case "benign":
-		return dualgraph.Benign{}, nil
-	case "random":
-		return dualgraph.NewRandomAdversary(p)
-	case "greedy":
-		return dualgraph.GreedyCollider{}, nil
-	case "full":
-		return dualgraph.FullDelivery{}, nil
-	}
-	return nil, fmt.Errorf("unknown adversary %q", name)
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -70,10 +72,138 @@ func TestVerboseListsEveryNode(t *testing.T) {
 	}
 }
 
-func TestUnknownTopologyFails(t *testing.T) {
+// TestUnknownNamesListValidOnes is the name-drift regression test: every
+// unknown name must fail with the registry's typed error, which lists the
+// valid names and suggests near misses.
+func TestUnknownNamesListValidOnes(t *testing.T) {
+	cases := []struct {
+		args []string
+		want []string
+	}{
+		{[]string{"-topo", "nope"}, []string{"valid topology names", "clique-bridge"}},
+		{[]string{"-topo", "geometirc"}, []string{`did you mean "geometric"?`}},
+		{[]string{"-alg", "harmonix"}, []string{`did you mean "harmonic"?`, "valid algorithm names"}},
+		{[]string{"-adv", "greddy"}, []string{`did you mean "greedy"?`, "valid adversary names"}},
+	}
+	for _, c := range cases {
+		var sb strings.Builder
+		err := run(c.args, &sb)
+		if err == nil {
+			t.Fatalf("run(%v): expected error", c.args)
+		}
+		for _, want := range c.want {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("run(%v) error %q missing %q", c.args, err, want)
+			}
+		}
+	}
+}
+
+// TestListPrintsEveryRegisteredName golden-checks the -list surface: the
+// three section headers, a known entry line, and a parameter doc line.
+func TestListPrintsEveryRegisteredName(t *testing.T) {
+	lines := runLines(t, "-list")
+	out := strings.Join(lines, "\n")
+	for _, want := range []string{
+		"topologies:",
+		"algorithms:",
+		"adversaries:",
+		"  geometric          unit-square placement: short links reliable, longer ones unreliable; scales to 100k+ nodes",
+		"      r-reliable       float  links shorter than this are reliable (default 0.28)",
+		"  strong-select      deterministic Strong Select, O(n^{3/2}√log n) (Section 5)",
+		"  greedy             adaptive greedy collider: jams single deliveries into collisions",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
+}
+
+// TestSpecGridGolden runs a two-axis sweep file at two worker counts and
+// pins the output: the acceptance criterion that -spec executes a grid
+// bit-identically at any -workers value.
+func TestSpecGridGolden(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	blob := `{
+		"base": {"seed": 2},
+		"algorithms": [{"name": "harmonic"}, {"name": "round-robin"}],
+		"ns": [9, 17],
+		"trials": 8
+	}`
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"grid: cells=4 trials-per-cell=8",
+		"alg=harmonic n=9: completed=8/8 rounds: min=85 mean=149.38 p50=148.00 p90=201.10 p95=217.55 p99=230.71 max=234 mean-transmissions=863.8",
+	}
+	for _, workers := range []string{"1", "2", "8"} {
+		lines := runLines(t, "-spec", path, "-workers", workers)
+		if len(lines) != 5 {
+			t.Fatalf("workers=%s: %d output lines, want 5:\n%s", workers, len(lines), strings.Join(lines, "\n"))
+		}
+		for i, w := range want {
+			if lines[i] != w {
+				t.Fatalf("workers=%s line %d = %q, want %q", workers, i, lines[i], w)
+			}
+		}
+	}
+}
+
+// TestSpecGridFirstCellMatchesStreamFlagPath checks grid-vs-single-cell
+// consistency through the CLI: the harmonic n=9 seed=2 cell of the spec
+// grid must report exactly the aggregate the -stream flag path reports for
+// the same scenario (same seeds, same reduction).
+func TestSpecGridFirstCellMatchesStreamFlagPath(t *testing.T) {
+	lines := runLines(t,
+		"-topo", "clique-bridge", "-n", "9", "-alg", "harmonic", "-adv", "greedy",
+		"-trials", "8", "-seed", "2", "-stream")
+	const want = "completed=8/8 rounds: min=85 mean=149.38 p50=148.00 p90=201.10 p95=217.55 p99=230.71 max=234 mean-transmissions=863.8"
+	if lines[1] != want {
+		t.Fatalf("stream flag path line = %q, want %q (grid golden)", lines[1], want)
+	}
+}
+
+// TestPRejectedWhenNothingTakesIt: -p must fail loudly when neither the
+// algorithm nor the adversary documents a "p" parameter, instead of being
+// silently dropped (and it must keep flowing to entries that do take it,
+// per the registry schema rather than a hardcoded name list).
+func TestPRejectedWhenNothingTakesIt(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-topo", "nope"}, &sb); err == nil {
-		t.Fatal("expected error for unknown topology")
+	err := run([]string{"-alg", "harmonic", "-adv", "greedy", "-p", "0.5"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "-p applies") {
+		t.Fatalf("err = %v, want a -p rejection", err)
+	}
+	lines := runLines(t, "-topo", "line", "-n", "5", "-alg", "uniform", "-p", "0.5",
+		"-adv", "benign", "-rule", "3", "-start", "sync", "-seed", "1")
+	if want := "alg=uniform(p=0.500)"; !strings.Contains(lines[0], want) {
+		t.Fatalf("line 0 = %q, want it to carry %q", lines[0], want)
+	}
+}
+
+// TestTypoWithPStillSuggests: a typoed name must surface the registry's
+// did-you-mean error even when -p is set (name validation runs first).
+func TestTypoWithPStillSuggests(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-alg", "harmonix", "-p", "0.5"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), `did you mean "harmonic"?`) {
+		t.Fatalf("err = %v, want the suggestion error, not a -p complaint", err)
+	}
+}
+
+func TestListRejectsOtherFlags(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-list", "-topo", "line"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "-topo") {
+		t.Fatalf("err = %v, want a -topo conflict error", err)
+	}
+}
+
+func TestSpecRejectsCellFlags(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-spec", "whatever.json", "-topo", "line"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "-topo") {
+		t.Fatalf("err = %v, want a -topo conflict error", err)
 	}
 }
 

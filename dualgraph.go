@@ -54,9 +54,11 @@ import (
 	"dualgraph/internal/interference"
 	"dualgraph/internal/linkest"
 	"dualgraph/internal/lowerbound"
+	"dualgraph/internal/registry"
 	"dualgraph/internal/repeat"
 	"dualgraph/internal/schedule"
 	"dualgraph/internal/sim"
+	"dualgraph/internal/spec"
 	"dualgraph/internal/ssf"
 	"dualgraph/internal/stats"
 )
@@ -178,6 +180,94 @@ var NewStream = stats.NewStream
 func RunStream(net *Network, alg Algorithm, adv Adversary, cfg Config, trials int, ec EngineConfig, sc StreamConfig) (*TrialSummary, error) {
 	return engine.RunStream(net, alg, adv, cfg, trials, ec, sc)
 }
+
+// Declarative scenario and sweep layer: name-addressed, JSON-round-trippable
+// experiment specs executed on the deterministic engine. See the package
+// docs of internal/spec and internal/registry for the full contracts.
+type (
+	// Scenario is one declarative simulation cell: topology + algorithm +
+	// adversary + run config, addressed by registry names. Build one with
+	// NewScenario and functional options, or unmarshal from JSON.
+	Scenario = spec.Scenario
+	// ScenarioOption mutates a Scenario under construction (WithTopology,
+	// WithCollisionRule, ...).
+	ScenarioOption = spec.Option
+	// BuiltScenario is a materialized Scenario, ready to run.
+	BuiltScenario = spec.Built
+	// Choice names one registered constructor plus parameter overrides.
+	Choice = spec.Choice
+	// Params is the parameter bag of a Choice (JSON-friendly: numbers and
+	// lists of numbers).
+	Params = registry.Params
+	// ParamDoc documents one parameter of a registry entry.
+	ParamDoc = registry.ParamDoc
+	// RegistryEntry is the self-describing header of a registered
+	// topology/algorithm/adversary constructor.
+	RegistryEntry = registry.Entry
+	// ErrUnknownName reports a failed registry lookup, listing valid names
+	// and close suggestions.
+	ErrUnknownName = registry.ErrUnknownName
+	// Sweep is a declarative Cartesian grid of Scenarios: a base cell plus
+	// per-axis value lists, executed as one parallel grid run.
+	Sweep = spec.Sweep
+	// GridCell is one point of an expanded Sweep.
+	GridCell = spec.Cell
+	// CellResult pairs a grid cell with its streamed trial summary.
+	CellResult = spec.CellResult
+	// GridResult is the outcome of Sweep.Run, keyed by cell labels; it is
+	// bit-identical at any worker count.
+	GridResult = spec.GridResult
+)
+
+// Scenario construction and functional options.
+var (
+	// NewScenario builds a Scenario from the dgsim defaults plus options and
+	// validates it once against the registries.
+	NewScenario = spec.New
+	// DefaultScenario returns the option-free starting scenario.
+	DefaultScenario = spec.Default
+	// WithTopology selects a registered topology by name.
+	WithTopology = spec.WithTopology
+	// WithAlgorithm selects a registered algorithm by name.
+	WithAlgorithm = spec.WithAlgorithm
+	// WithAdversary selects a registered adversary by name.
+	WithAdversary = spec.WithAdversary
+	// WithN sets the requested network size.
+	WithN = spec.WithN
+	// WithCollisionRule sets the collision rule.
+	WithCollisionRule = spec.WithCollisionRule
+	// WithStart sets the start rule.
+	WithStart = spec.WithStart
+	// WithSeed sets the base seed.
+	WithSeed = spec.WithSeed
+	// WithMaxRounds caps the execution length.
+	WithMaxRounds = spec.WithMaxRounds
+)
+
+// Registry introspection and name-addressed construction.
+var (
+	// ListTopologies returns every registered topology entry, sorted.
+	ListTopologies = registry.Topologies
+	// ListAlgorithms returns every registered algorithm entry, sorted.
+	ListAlgorithms = registry.Algorithms
+	// ListAdversaries returns every registered adversary entry, sorted.
+	ListAdversaries = registry.Adversaries
+	// NamedTopology builds a registered topology by name at size n.
+	NamedTopology = registry.Topology
+	// NamedAlgorithm builds a registered algorithm by name for n processes.
+	NamedAlgorithm = registry.Algorithm
+	// NamedAdversary builds a registered adversary by name.
+	NamedAdversary = registry.Adversary
+	// TopologyInfo returns the entry header of a named topology.
+	TopologyInfo = registry.TopologyInfo
+	// AlgorithmInfo returns the entry header of a named algorithm.
+	AlgorithmInfo = registry.AlgorithmInfo
+	// AdversaryInfo returns the entry header of a named adversary.
+	AdversaryInfo = registry.AdversaryInfo
+	// WriteRegistry renders every registry with parameter docs (the -list
+	// output of both CLIs).
+	WriteRegistry = registry.WriteList
+)
 
 // Graph construction.
 var (

@@ -1,6 +1,7 @@
 package dualgraph_test
 
 import (
+	"reflect"
 	"testing"
 
 	"dualgraph"
@@ -185,5 +186,68 @@ func TestFacadeRunStream(t *testing.T) {
 		if med != refMed {
 			t.Fatalf("median differs across worker counts: %v vs %v", med, refMed)
 		}
+	}
+}
+
+// TestFacadeScenarioAndSweep exercises the declarative layer end to end
+// through the public API: a Scenario built with functional options must
+// reproduce the positional Run path exactly, and a Sweep's grid must agree
+// with its cells run standalone.
+func TestFacadeScenarioAndSweep(t *testing.T) {
+	scn, err := dualgraph.NewScenario(
+		dualgraph.WithTopology("clique-bridge", nil),
+		dualgraph.WithN(9),
+		dualgraph.WithAlgorithm("harmonic", nil),
+		dualgraph.WithAdversary("greedy", nil),
+		dualgraph.WithSeed(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := scn.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := dualgraph.CliqueBridge(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := dualgraph.NewHarmonicForN(9, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := dualgraph.Run(net, alg, dualgraph.GreedyCollider{}, dualgraph.Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("Scenario.Run differs from the positional Run path")
+	}
+
+	sw := dualgraph.Sweep{
+		Base:        scn,
+		Adversaries: []dualgraph.Choice{{Name: "benign"}, {Name: "greedy"}},
+		Trials:      6,
+	}
+	grid, err := sw.Run(dualgraph.EngineConfig{Workers: 4}, dualgraph.StreamConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid.Cells) != 2 {
+		t.Fatalf("grid has %d cells", len(grid.Cells))
+	}
+	cr, ok := grid.Cell("adv=greedy")
+	if !ok {
+		t.Fatal("adv=greedy cell missing")
+	}
+	standalone, err := scn.RunStream(6, dualgraph.EngineConfig{Workers: 1}, dualgraph.StreamConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cr.Summary, standalone) {
+		t.Fatal("grid cell summary differs from the cell's standalone RunStream")
+	}
+	if len(dualgraph.ListTopologies()) == 0 || len(dualgraph.ListAlgorithms()) == 0 || len(dualgraph.ListAdversaries()) == 0 {
+		t.Fatal("registry listings empty through the facade")
 	}
 }

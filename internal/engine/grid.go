@@ -1,0 +1,119 @@
+// Grid execution: many (network, algorithm, adversary, config) cells, each
+// streamed over many trials, all sharing one worker pool. The unit of
+// parallelism is a (cell, shard) pair — finer than a cell — so a grid
+// parallelizes across cells and inside them at the same time: two cells
+// saturate an 8-way pool, and so does one cell with enough trials.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dualgraph/internal/sim"
+	"dualgraph/internal/stats"
+)
+
+// RunGridStream executes trials independent runs of every cell, folding each
+// cell's results into its own streaming TrialSummary, and returns the
+// summaries indexed like cells. Cell c's trial i runs with sim seed
+// SeedFor(cells[c].Cfg.Seed, i) — exactly the derivation RunStream applies
+// to a single cell — and each cell's shard accumulators are built over the
+// same shard partition and merged in the same shard order, so every
+// returned summary is bit-identical to RunStream of that cell alone, at any
+// worker count of either call.
+//
+// Work is fanned out at (cell, shard) granularity over one pool: with C
+// cells and S = Shards(trials) shards there are C·S independent units, so
+// the pool stays busy whether the grid is wide (many cells) or deep (many
+// trials). On error the lowest (cell, trial) pair in lexicographic order is
+// reported.
+func RunGridStream(cells []Trial, trials int, cfg Config, sc StreamConfig) ([]*TrialSummary, error) {
+	if trials < 0 {
+		return nil, fmt.Errorf("engine: negative trial count %d", trials)
+	}
+	if _, err := stats.NewStream(sc.quantiles(), sc.ExactK); err != nil {
+		return nil, err
+	}
+	summaries := make([]*TrialSummary, len(cells))
+	if len(cells) == 0 {
+		return summaries, nil
+	}
+	if trials == 0 {
+		for c := range summaries {
+			summaries[c] = sc.newSummary()
+		}
+		return summaries, nil
+	}
+
+	shards := Shards(trials)
+	units := len(cells) * shards
+	accs := make([]*TrialSummary, units)
+	workers := cfg.workers()
+	if workers > units {
+		workers = units
+	}
+
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		firstEr trialError
+	)
+	// One code path at any worker count (same rationale as Reduce): the
+	// sequential case is the same unit walk on a pool of one.
+	work := func() {
+		for !failed.Load() {
+			u := int(next.Add(1)) - 1
+			if u >= units {
+				return
+			}
+			c, s := u/shards, u%shards
+			cell := cells[c]
+			lo, hi := shardBounds(trials, shards, s)
+			acc := sc.newSummary()
+			for i := lo; i < hi; i++ {
+				simCfg := cell.Cfg
+				simCfg.Seed = SeedFor(cell.Cfg.Seed, i)
+				res, err := sim.Run(cell.Net, cell.Alg, cell.Adv, simCfg)
+				if err == nil {
+					err = acc.fold(res)
+				}
+				if err != nil {
+					// Global order key: all trials of cell c sort before any
+					// trial of cell c+1.
+					firstEr.record(c*trials+i, err)
+					failed.Store(true)
+					break
+				}
+			}
+			accs[u] = acc
+		}
+	}
+	if workers == 1 {
+		work()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				work()
+			}()
+		}
+		wg.Wait()
+	}
+	if err := firstEr.get(); err != nil {
+		c, i := firstEr.index/trials, firstEr.index%trials
+		return nil, fmt.Errorf("engine: cell %d trial %d: %w", c, i, err)
+	}
+	for c := range cells {
+		dst := accs[c*shards]
+		for s := 1; s < shards; s++ {
+			if err := dst.Merge(accs[c*shards+s]); err != nil {
+				return nil, fmt.Errorf("engine: cell %d merge shard %d: %w", c, s, err)
+			}
+		}
+		summaries[c] = dst
+	}
+	return summaries, nil
+}

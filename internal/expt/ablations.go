@@ -5,6 +5,7 @@ import (
 
 	"dualgraph/internal/adversary"
 	"dualgraph/internal/core"
+	"dualgraph/internal/registry"
 	"dualgraph/internal/sim"
 	"dualgraph/internal/stats"
 )
@@ -27,7 +28,7 @@ func ablCollisionRules() Experiment {
 		}
 		n := 33
 		fmt.Fprintln(tw, "algorithm\trule\tmedian rounds\tcompleted")
-		d, err := dualTopology("complete-layered", n, cfg.Seed)
+		d, err := registry.Topology("complete-layered", n, cfg.Seed, nil)
 		if err != nil {
 			return err
 		}
@@ -75,7 +76,7 @@ func ablHarmonicT() Experiment {
 			trials = 5
 		}
 		n := 33
-		d, err := dualTopology("clique-bridge", n, cfg.Seed)
+		d, err := registry.Topology("clique-bridge", n, cfg.Seed, nil)
 		if err != nil {
 			return err
 		}
@@ -123,7 +124,7 @@ func ablAdversary() Experiment {
 			trials = 3
 		}
 		n := 33
-		d, err := dualTopology("clique-bridge", n, cfg.Seed)
+		d, err := registry.Topology("clique-bridge", n, cfg.Seed, nil)
 		if err != nil {
 			return err
 		}

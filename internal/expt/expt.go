@@ -22,6 +22,7 @@ import (
 	"dualgraph/internal/engine"
 	"dualgraph/internal/graph"
 	"dualgraph/internal/sim"
+	"dualgraph/internal/spec"
 	"dualgraph/internal/stats"
 )
 
@@ -181,35 +182,23 @@ func fitLine(ns []int, rounds []float64) string {
 	return fmt.Sprintf("fit: rounds ≈ %.2f·n^%.2f", c, alpha)
 }
 
-// dualTopology builds the named dual-graph topology at size n.
-func dualTopology(name string, n int, seed int64) (*graph.Dual, error) {
-	switch name {
-	case "clique-bridge":
-		return graph.CliqueBridge(n)
-	case "complete-layered":
-		return graph.CompleteLayered(oddify(n))
-	case "random":
-		return graph.RandomDual(n, 0.12, 0.35, newRng(seed))
-	case "geometric":
-		return graph.Geometric(n, 0.28, 0.7, newRng(seed))
-	case "line":
-		return graph.Line(n)
-	case "complete":
-		return graph.Complete(n)
-	case "tree":
-		return graph.BinaryTree(n)
-	}
-	return nil, fmt.Errorf("unknown topology %q", name)
+// scenario builds the declarative spec of one experiment cell. All name
+// lookup goes through internal/registry (there is no expt-private topology
+// table anymore), so experiment cells are the same first-class values
+// cmd/dgsim -spec files describe.
+func scenario(topo string, n int, alg, adv string, rule sim.CollisionRule, start sim.StartRule, seed int64) (spec.Scenario, error) {
+	return spec.New(
+		spec.WithTopology(topo, nil),
+		spec.WithN(n),
+		spec.WithAlgorithm(alg, nil),
+		spec.WithAdversary(adv, nil),
+		spec.WithCollisionRule(rule),
+		spec.WithStart(start),
+		spec.WithSeed(seed),
+	)
 }
 
 func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
-
-func oddify(n int) int {
-	if n%2 == 0 {
-		return n + 1
-	}
-	return n
-}
 
 // greedy returns the standard worst-case-ish adversary used in the dual
 // experiments.

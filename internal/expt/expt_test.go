@@ -2,12 +2,14 @@ package expt
 
 import (
 	"bytes"
+	"errors"
 	"strconv"
 	"strings"
 	"testing"
 
 	"dualgraph/internal/core"
 	"dualgraph/internal/engine"
+	"dualgraph/internal/registry"
 	"dualgraph/internal/sim"
 )
 
@@ -109,7 +111,7 @@ func TestTable1RowMatchesSequentialReference(t *testing.T) {
 	seed := int64(11)
 	want := map[int]int{} // n -> rounds
 	for _, n := range sweepSizes(true) {
-		d, err := dualTopology("line", n, seed)
+		d, err := registry.Topology("line", n, seed, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -168,15 +170,14 @@ func TestQuickEnginePathInShortMode(t *testing.T) {
 	}
 }
 
-func TestDualTopologyUnknown(t *testing.T) {
-	if _, err := dualTopology("bogus", 10, 1); err == nil {
-		t.Fatal("expected error for unknown topology")
-	}
-}
-
-func TestOddify(t *testing.T) {
-	if oddify(8) != 9 || oddify(9) != 9 {
-		t.Fatal("oddify wrong")
+// TestScenarioUnknownNamesFail pins the registry routing: an experiment
+// cell with an unknown name fails with the registry's typed error instead
+// of a bare message.
+func TestScenarioUnknownNamesFail(t *testing.T) {
+	_, err := scenario("bogus", 10, "harmonic", "greedy", sim.CR4, sim.AsyncStart, 1)
+	var unk *registry.ErrUnknownName
+	if !errors.As(err, &unk) {
+		t.Fatalf("want *registry.ErrUnknownName, got %v", err)
 	}
 }
 

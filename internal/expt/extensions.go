@@ -10,6 +10,7 @@ import (
 	"dualgraph/internal/graph"
 	"dualgraph/internal/linkest"
 	"dualgraph/internal/lowerbound"
+	"dualgraph/internal/registry"
 	"dualgraph/internal/repeat"
 	"dualgraph/internal/schedule"
 	"dualgraph/internal/sim"
@@ -44,7 +45,7 @@ func extDeltaSelect() Experiment {
 		}
 		rows, err := engine.Map(len(jobs), cfg.Engine, func(i int) (row, error) {
 			j := jobs[i]
-			d, err := dualTopology(j.topo, j.n, cfg.Seed)
+			d, err := registry.Topology(j.topo, j.n, cfg.Seed, nil)
 			if err != nil {
 				return row{}, err
 			}
@@ -276,7 +277,7 @@ func extBroadcastability() Experiment {
 		}
 		rows, err := engine.Map(len(topos), cfg.Engine, func(i int) (row, error) {
 			topo := topos[i]
-			d, err := dualTopology(topo, 17, cfg.Seed)
+			d, err := registry.Topology(topo, 17, cfg.Seed, nil)
 			if err != nil {
 				return row{}, err
 			}

@@ -8,6 +8,7 @@ import (
 	"dualgraph/internal/engine"
 	"dualgraph/internal/graph"
 	"dualgraph/internal/interference"
+	"dualgraph/internal/registry"
 	"dualgraph/internal/sim"
 	"dualgraph/internal/ssf"
 	"dualgraph/internal/stats"
@@ -62,7 +63,7 @@ func figSeparation() Experiment {
 		}
 		var jobs []job
 		for _, n := range sweepSizes(cfg.Quick) {
-			dual, err := dualTopology("clique-bridge", n, cfg.Seed)
+			dual, err := registry.Topology("clique-bridge", n, cfg.Seed, nil)
 			if err != nil {
 				return err
 			}
@@ -279,7 +280,7 @@ func figLemma1() Experiment {
 		// read-only values across the six (alg, rule) jobs.
 		var jobs []job
 		for _, n := range []int{16, 32} {
-			d, err := dualTopology("random", n, cfg.Seed)
+			d, err := registry.Topology("random", n, cfg.Seed, nil)
 			if err != nil {
 				return err
 			}

@@ -25,16 +25,16 @@ func table1ClassicalRR() Experiment {
 		fmt.Fprintln(tw, "topology\tn\trounds\trounds/n")
 		for _, topo := range []string{"complete", "line", "tree"} {
 			sizes := sweepSizes(cfg.Quick)
+			// Each cell is a declarative Scenario run on the Spec path; the
+			// registry resolves the same constructors the harness always
+			// used, so tables are byte-identical to the positional era.
 			results, err := engine.Map(len(sizes), cfg.Engine, func(i int) (*sim.Result, error) {
-				d, err := dualTopology(topo, sizes[i], cfg.Seed)
+				scn, err := scenario(topo, sizes[i], "round-robin", "benign",
+					sim.CR3, sim.SyncStart, cfg.Seed)
 				if err != nil {
 					return nil, err
 				}
-				return sim.Run(d, core.NewRoundRobin(), benign(), sim.Config{
-					Rule:  sim.CR3,
-					Start: sim.SyncStart,
-					Seed:  cfg.Seed,
-				})
+				return scn.Run()
 			})
 			if err != nil {
 				return err
@@ -76,22 +76,22 @@ func table1DualStrongSelect() Experiment {
 		for _, topo := range []string{"clique-bridge", "complete-layered", "geometric"} {
 			sizes := sweepSizes(cfg.Quick)
 			rows, err := engine.Map(len(sizes), cfg.Engine, func(i int) (row, error) {
-				d, err := dualTopology(topo, sizes[i], cfg.Seed)
+				scn, err := scenario(topo, sizes[i], "strong-select", "greedy",
+					sim.CR4, sim.AsyncStart, cfg.Seed)
 				if err != nil {
 					return row{}, err
 				}
-				nn := d.N()
-				alg, err := core.NewStrongSelect(nn)
+				b, err := scn.Build()
 				if err != nil {
 					return row{}, err
 				}
+				// The round budget depends on the built size, which a
+				// structural generator may have adjusted, so it is set after
+				// materializing rather than in the spec.
+				nn := b.Net.N()
 				bound := strongSelectBudget(nn)
-				res, err := sim.Run(d, alg, greedy(), sim.Config{
-					Rule:      sim.CR4,
-					Start:     sim.AsyncStart,
-					MaxRounds: bound,
-					Seed:      cfg.Seed,
-				})
+				b.Cfg.MaxRounds = bound
+				res, err := b.Run()
 				if err != nil {
 					return row{}, err
 				}

@@ -32,16 +32,21 @@ func table2ClassicalDecay() Experiment {
 			var ns []int
 			var meds []float64
 			for _, n := range sweepSizes(cfg.Quick) {
-				d, err := dualTopology(topo, n, cfg.Seed)
+				// The cell is a declarative Scenario; the aggregation on top
+				// (medianRounds with its historical seed stepping) stays
+				// expt-specific, so tables are byte-identical to the
+				// positional era.
+				scn, err := scenario(topo, n, "decay", "benign",
+					sim.CR3, sim.AsyncStart, cfg.Seed)
 				if err != nil {
 					return err
 				}
-				med, maxR, done, err := medianRounds(cfg.Engine, d, core.NewDecay(), benign(), sim.Config{
-					Rule:      sim.CR3,
-					Start:     sim.AsyncStart,
-					MaxRounds: 400 * n,
-					Seed:      cfg.Seed,
-				}, trials)
+				scn.MaxRounds = 400 * n
+				b, err := scn.Build()
+				if err != nil {
+					return err
+				}
+				med, maxR, done, err := medianRounds(cfg.Engine, b.Net, b.Alg, b.Adv, b.Cfg, trials)
 				if err != nil {
 					return err
 				}
@@ -76,22 +81,27 @@ func table2DualHarmonic() Experiment {
 			var ns []int
 			var meds []float64
 			for _, n := range sweepSizes(cfg.Quick) {
-				d, err := dualTopology(topo, n, cfg.Seed)
+				scn, err := scenario(topo, n, "harmonic", "greedy",
+					sim.CR4, sim.AsyncStart, cfg.Seed)
 				if err != nil {
 					return err
 				}
-				nn := d.N()
-				alg, err := core.NewHarmonicForN(nn, 0.02)
+				b, err := scn.Build()
 				if err != nil {
 					return err
 				}
-				bound := int(2 * float64(nn*alg.T) * stats.HarmonicNumber(nn))
-				med, _, done, err := medianRounds(cfg.Engine, d, alg, greedy(), sim.Config{
-					Rule:      sim.CR4,
-					Start:     sim.AsyncStart,
-					MaxRounds: bound,
-					Seed:      cfg.Seed,
-				}, trials)
+				// The Theorem 18 budget is derived from the T of the
+				// algorithm actually built, so it cannot drift from the
+				// registry's construction.
+				h, ok := b.Alg.(*core.Harmonic)
+				if !ok {
+					return fmt.Errorf("scenario built %T for %q, want *core.Harmonic", b.Alg, "harmonic")
+				}
+				nn := b.Net.N()
+				paperT := h.T
+				bound := int(2 * float64(nn*paperT) * stats.HarmonicNumber(nn))
+				b.Cfg.MaxRounds = bound
+				med, _, done, err := medianRounds(cfg.Engine, b.Net, b.Alg, b.Adv, b.Cfg, trials)
 				if err != nil {
 					return err
 				}
@@ -101,7 +111,7 @@ func table2DualHarmonic() Experiment {
 				ns = append(ns, nn)
 				meds = append(meds, med)
 				fmt.Fprintf(tw, "%s\t%d\t%d\t%.0f\t%d\t%.3f\t%d/%d\n",
-					topo, nn, alg.T, med, bound, med/float64(bound), done, trials)
+					topo, nn, paperT, med, bound, med/float64(bound), done, trials)
 			}
 			fmt.Fprintf(tw, "%s\t\t\t\t%s\n", topo, fitLine(ns, meds))
 		}

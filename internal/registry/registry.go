@@ -1,0 +1,307 @@
+// Package registry is the single name→constructor table of the library:
+// every topology generator, broadcast algorithm, and adversary is registered
+// here under a stable name with a self-describing parameter schema. The
+// declarative Scenario/Sweep layer (internal/spec), both CLIs, and the
+// experiment harness all resolve names through this package, so a name that
+// works in one place works everywhere — and an unknown name fails everywhere
+// with the same typed error listing the valid names.
+//
+// Construction is deterministic: a registered constructor derives all its
+// randomness from the seed it is handed, never from global state, so the
+// same (name, n, seed, params) triple always builds the same value.
+package registry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Params is a JSON-friendly named-parameter bag for a registered
+// constructor. Numeric values may be any Go numeric type (JSON decoding
+// yields float64; integer parameters accept any value that is exactly an
+// integer), and list-of-int parameters accept []int or []any of numbers.
+// Unknown keys are rejected at validation time so typos fail loudly.
+type Params map[string]any
+
+// ParamDoc describes one parameter of a registered constructor.
+type ParamDoc struct {
+	// Name is the parameter key in Params.
+	Name string
+	// Type is the human-readable type: "int", "float", or "[]int".
+	Type string
+	// Default is the value used when the key is absent.
+	Default any
+	// Doc is a one-line description.
+	Doc string
+}
+
+// Entry is the self-describing header of a registered constructor.
+type Entry struct {
+	// Name is the stable lookup key (e.g. "geometric").
+	Name string
+	// Doc is a one-line description of what the constructor builds.
+	Doc string
+	// Params documents the accepted parameters in display order.
+	Params []ParamDoc
+	// IgnoresN marks topology entries whose size comes entirely from
+	// parameters (layered chains): the requested n has no effect on the
+	// built network. Sweeping an n axis over such a topology would run
+	// byte-identical duplicate cells, so the sweep layer rejects it.
+	IgnoresN bool
+}
+
+// AcceptsParam reports whether the entry's schema documents the key.
+func (e Entry) AcceptsParam(name string) bool {
+	_, ok := e.paramDoc(name)
+	return ok
+}
+
+// ErrUnknownName reports a failed name lookup in one of the registries. It
+// carries the full list of valid names and, when the unknown name is a near
+// miss, edit-distance suggestions — so the "silent name drift" failure mode
+// (a bare `unknown topology "x"` with no hint of what would have worked)
+// cannot recur.
+type ErrUnknownName struct {
+	// Kind is "topology", "algorithm", or "adversary".
+	Kind string
+	// Name is the name that failed to resolve.
+	Name string
+	// Known lists every registered name, sorted.
+	Known []string
+	// Suggestions lists registered names within a small edit distance of
+	// Name, closest first.
+	Suggestions []string
+}
+
+// Error implements error.
+func (e *ErrUnknownName) Error() string {
+	var sb strings.Builder
+	if e.Name == "" {
+		fmt.Fprintf(&sb, "missing %s name", e.Kind)
+	} else {
+		fmt.Fprintf(&sb, "unknown %s %q", e.Kind, e.Name)
+	}
+	if len(e.Suggestions) > 0 {
+		fmt.Fprintf(&sb, " (did you mean %q?)", e.Suggestions[0])
+	}
+	fmt.Fprintf(&sb, "; valid %s names: %s", e.Kind, strings.Join(e.Known, ", "))
+	return sb.String()
+}
+
+// editDistance is the Levenshtein distance between two short names.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(min(cur[j-1]+1, prev[j]+1), prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// unknownName builds the typed lookup error with suggestions. An empty
+// name is a missing field, not a near miss — it gets no suggestions (every
+// name is trivially "close" to "").
+func unknownName(kind, name string, known []string) *ErrUnknownName {
+	if name == "" {
+		return &ErrUnknownName{Kind: kind, Known: known}
+	}
+	type scored struct {
+		name string
+		d    int
+	}
+	var close []scored
+	for _, k := range known {
+		if d := editDistance(name, k); d <= 2 || strings.HasPrefix(k, name) {
+			close = append(close, scored{k, d})
+		}
+	}
+	sort.Slice(close, func(i, j int) bool {
+		if close[i].d != close[j].d {
+			return close[i].d < close[j].d
+		}
+		return close[i].name < close[j].name
+	})
+	e := &ErrUnknownName{Kind: kind, Name: name, Known: known}
+	for _, s := range close {
+		e.Suggestions = append(e.Suggestions, s.name)
+	}
+	return e
+}
+
+// check validates a Params bag against the entry's schema: every provided
+// key must be documented and every provided value must coerce to the
+// documented type. Absent keys are fine (defaults apply at build time).
+func (e Entry) check(p Params) error {
+	for key := range p {
+		doc, ok := e.paramDoc(key)
+		if !ok {
+			return fmt.Errorf("%q: unknown parameter %q (accepted: %s)",
+				e.Name, key, e.paramNames())
+		}
+		if err := e.checkType(p, doc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e Entry) checkType(p Params, doc ParamDoc) error {
+	var err error
+	switch doc.Type {
+	case "int":
+		_, err = getInt(p, doc)
+	case "float":
+		_, err = getFloat(p, doc)
+	case "[]int":
+		_, err = getInts(p, doc)
+	default:
+		err = fmt.Errorf("registry bug: parameter %q has unhandled type %q", doc.Name, doc.Type)
+	}
+	return err
+}
+
+func (e Entry) paramDoc(name string) (ParamDoc, bool) {
+	for _, d := range e.Params {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return ParamDoc{}, false
+}
+
+func (e Entry) paramNames() string {
+	if len(e.Params) == 0 {
+		return "none"
+	}
+	names := make([]string, len(e.Params))
+	for i, d := range e.Params {
+		names[i] = d.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// getFloat reads a float parameter, applying the doc default when absent.
+func getFloat(p Params, doc ParamDoc) (float64, error) {
+	v, ok := p[doc.Name]
+	if !ok {
+		v = doc.Default
+	}
+	switch x := v.(type) {
+	case float64:
+		return x, nil
+	case float32:
+		return float64(x), nil
+	case int:
+		return float64(x), nil
+	case int64:
+		return float64(x), nil
+	}
+	return 0, fmt.Errorf("parameter %q: want a number, got %T", doc.Name, v)
+}
+
+// getInt reads an integer parameter; float values are accepted only when
+// they are exactly integral (JSON decodes all numbers as float64).
+func getInt(p Params, doc ParamDoc) (int, error) {
+	v, ok := p[doc.Name]
+	if !ok {
+		v = doc.Default
+	}
+	switch x := v.(type) {
+	case int:
+		return x, nil
+	case int64:
+		return int(x), nil
+	case float64:
+		if x != math.Trunc(x) {
+			return 0, fmt.Errorf("parameter %q: want an integer, got %v", doc.Name, x)
+		}
+		return int(x), nil
+	}
+	return 0, fmt.Errorf("parameter %q: want an integer, got %T", doc.Name, v)
+}
+
+// getInts reads a list-of-int parameter ([]int, or []any of integral
+// numbers as produced by JSON decoding).
+func getInts(p Params, doc ParamDoc) ([]int, error) {
+	v, ok := p[doc.Name]
+	if !ok {
+		v = doc.Default
+	}
+	switch xs := v.(type) {
+	case []int:
+		return xs, nil
+	case []any:
+		out := make([]int, len(xs))
+		for i, x := range xs {
+			n, err := getInt(Params{doc.Name: x}, ParamDoc{Name: doc.Name})
+			if err != nil {
+				return nil, fmt.Errorf("parameter %q[%d]: want an integer, got %v", doc.Name, i, x)
+			}
+			out[i] = n
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("parameter %q: want a list of integers, got %T", doc.Name, v)
+}
+
+// entries returns the Entry headers of a registry table, sorted by name.
+func entries[E any](m map[string]E, header func(E) Entry) []Entry {
+	out := make([]Entry, 0, len(m))
+	for _, e := range m {
+		out = append(out, header(e))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func names(es []Entry) []string {
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// WriteList renders every registry — topologies, algorithms, adversaries —
+// with per-entry parameter docs. Both CLIs' -list flags print exactly this,
+// so the output is golden-tested once and shared.
+func WriteList(w io.Writer) {
+	sections := []struct {
+		kind    string
+		entries []Entry
+	}{
+		{"topologies", Topologies()},
+		{"algorithms", Algorithms()},
+		{"adversaries", Adversaries()},
+	}
+	for i, s := range sections {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "%s:\n", s.kind)
+		for _, e := range s.entries {
+			fmt.Fprintf(w, "  %-18s %s\n", e.Name, e.Doc)
+			for _, d := range e.Params {
+				def := ""
+				if d.Default != nil {
+					def = fmt.Sprintf(" (default %v)", d.Default)
+				}
+				fmt.Fprintf(w, "      %-16s %-6s %s%s\n", d.Name, d.Type, d.Doc, def)
+			}
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package registry
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dualgraph/internal/graph"
+	"dualgraph/internal/sim"
+)
+
+// TestEveryTopologyBuildsAtSmallN is the registry half of the Spec-layer
+// property test: every registered name must construct with default params
+// at a small odd size (odd so complete-layered's structural constraint is
+// met without special-casing).
+func TestEveryTopologyBuildsAtSmallN(t *testing.T) {
+	for _, e := range Topologies() {
+		d, err := Topology(e.Name, 9, 1, nil)
+		if err != nil {
+			t.Errorf("Topology(%q, 9): %v", e.Name, err)
+			continue
+		}
+		if d.N() < 2 {
+			t.Errorf("Topology(%q, 9): built %d nodes", e.Name, d.N())
+		}
+	}
+}
+
+func TestEveryAlgorithmBuildsAtSmallN(t *testing.T) {
+	for _, e := range Algorithms() {
+		alg, err := Algorithm(e.Name, 9, nil)
+		if err != nil {
+			t.Errorf("Algorithm(%q, 9): %v", e.Name, err)
+			continue
+		}
+		if alg.Name() == "" {
+			t.Errorf("Algorithm(%q): empty Name()", e.Name)
+		}
+	}
+}
+
+func TestEveryAdversaryBuilds(t *testing.T) {
+	for _, e := range Adversaries() {
+		adv, err := Adversary(e.Name, nil)
+		if err != nil {
+			t.Errorf("Adversary(%q): %v", e.Name, err)
+			continue
+		}
+		if adv.Name() == "" {
+			t.Errorf("Adversary(%q): empty Name()", e.Name)
+		}
+	}
+}
+
+// TestDefaultsMatchHistoricalConstructors pins the registry's parameter
+// defaults to the constructor calls dgsim and expt hardcoded before the
+// registry existed: same seed, same network.
+func TestDefaultsMatchHistoricalConstructors(t *testing.T) {
+	seed := int64(7)
+	cases := []struct {
+		name string
+		n    int
+		want func() (*graph.Dual, error)
+	}{
+		{"random", 21, func() (*graph.Dual, error) {
+			return graph.RandomDual(21, 0.12, 0.35, rand.New(rand.NewSource(seed)))
+		}},
+		{"geometric", 21, func() (*graph.Dual, error) {
+			return graph.Geometric(21, 0.28, 0.7, rand.New(rand.NewSource(seed)))
+		}},
+		{"pa", 21, func() (*graph.Dual, error) {
+			return graph.PreferentialAttachment(21, 3, 0.5, rand.New(rand.NewSource(seed)))
+		}},
+		{"grid", 21, func() (*graph.Dual, error) {
+			return graph.Grid(5, 5, 2, 0.3, rand.New(rand.NewSource(seed)))
+		}},
+	}
+	for _, c := range cases {
+		got, err := Topology(c.name, c.n, seed, nil)
+		if err != nil {
+			t.Fatalf("Topology(%q): %v", c.name, err)
+		}
+		want, err := c.want()
+		if err != nil {
+			t.Fatalf("reference %q: %v", c.name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Topology(%q) with default params differs from the historical construction", c.name)
+		}
+	}
+}
+
+func TestUnknownNameSuggestions(t *testing.T) {
+	_, err := Topology("geometirc", 9, 1, nil)
+	var unk *ErrUnknownName
+	if !errors.As(err, &unk) {
+		t.Fatalf("error %v is not *ErrUnknownName", err)
+	}
+	if unk.Kind != "topology" || unk.Name != "geometirc" {
+		t.Fatalf("wrong error fields: %+v", unk)
+	}
+	if len(unk.Suggestions) == 0 || unk.Suggestions[0] != "geometric" {
+		t.Fatalf("suggestions = %v, want geometric first", unk.Suggestions)
+	}
+	if !strings.Contains(err.Error(), `did you mean "geometric"?`) ||
+		!strings.Contains(err.Error(), "clique-bridge") {
+		t.Fatalf("error text missing suggestion or valid names: %v", err)
+	}
+	for _, call := range []func() error{
+		func() error { _, err := Algorithm("harmonix", 9, nil); return err },
+		func() error { _, err := Adversary("greddy", nil); return err },
+	} {
+		if err := call(); !errors.As(err, &unk) {
+			t.Errorf("error %v is not *ErrUnknownName", err)
+		}
+	}
+}
+
+// TestEmptyNameIsMissingNotSuggested: "" must read as a missing field with
+// no nonsense suggestions (every name is edit-distance-close to "").
+func TestEmptyNameIsMissingNotSuggested(t *testing.T) {
+	_, err := Topology("", 9, 1, nil)
+	var unk *ErrUnknownName
+	if !errors.As(err, &unk) {
+		t.Fatalf("error %v is not *ErrUnknownName", err)
+	}
+	if len(unk.Suggestions) != 0 {
+		t.Fatalf("empty name got suggestions %v", unk.Suggestions)
+	}
+	if !strings.HasPrefix(err.Error(), "missing topology name") {
+		t.Fatalf("error text = %v, want a missing-name message", err)
+	}
+}
+
+func TestUnknownAndMistypedParamsRejected(t *testing.T) {
+	if _, err := Topology("geometric", 9, 1, Params{"radius": 0.3}); err == nil ||
+		!strings.Contains(err.Error(), "r-reliable") {
+		t.Fatalf("unknown param error should list accepted params, got %v", err)
+	}
+	if _, err := Topology("grid", 9, 1, Params{"reach": 1.5}); err == nil ||
+		!strings.Contains(err.Error(), "integer") {
+		t.Fatalf("non-integral int param should fail, got %v", err)
+	}
+	if err := ValidateAlgorithm("uniform", Params{"p": "high"}); err == nil {
+		t.Fatal("string for float param should fail validation")
+	}
+	if err := ValidateTopology("layered-random", Params{"layers": []any{2.0, 3.0}}); err != nil {
+		t.Fatalf("JSON-decoded layer list should validate: %v", err)
+	}
+}
+
+// TestGridRowsColsOverride checks the explicit-shape escape hatch and its
+// paired-flags guard.
+func TestGridRowsColsOverride(t *testing.T) {
+	d, err := Topology("grid", 0, 3, Params{"rows": 2, "cols": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 10 {
+		t.Fatalf("2x5 grid built %d nodes", d.N())
+	}
+	if _, err := Topology("grid", 9, 3, Params{"rows": 2}); err == nil {
+		t.Fatal("rows without cols must fail")
+	}
+}
+
+func TestLayeredTopologiesDeriveN(t *testing.T) {
+	d, err := Topology("layered-random", 999, 1, Params{"layers": []int{2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 6 {
+		t.Fatalf("layered-random [2,3] built %d nodes, want 6", d.N())
+	}
+}
+
+func TestHarmonicExplicitT(t *testing.T) {
+	alg, err := Algorithm("harmonic", 9, Params{"t": 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := alg.Name(); got != "harmonic(T=13)" {
+		t.Fatalf("explicit T name = %q", got)
+	}
+}
+
+func TestDeltaSelectDefaultsToTrivialBound(t *testing.T) {
+	alg, err := Algorithm("delta-select", 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ sim.Algorithm = alg
+}
+
+// TestWriteListGolden pins the shared -list rendering: every entry line and
+// every parameter doc line, in sorted section order.
+func TestWriteListGolden(t *testing.T) {
+	var sb strings.Builder
+	WriteList(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"topologies:\n",
+		"algorithms:\n",
+		"adversaries:\n",
+		"  geometric          unit-square placement: short links reliable, longer ones unreliable; scales to 100k+ nodes\n",
+		"      r-reliable       float  links shorter than this are reliable (default 0.28)\n",
+		"  harmonic           randomized Harmonic Broadcast, O(n log² n) w.h.p. (Section 7)\n",
+		"      p                float  per-edge per-round delivery probability (default 0.25)\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteList output missing %q\n---\n%s", want, out)
+		}
+	}
+	// Every registered name must appear.
+	for _, es := range [][]Entry{Topologies(), Algorithms(), Adversaries()} {
+		for _, e := range es {
+			if !strings.Contains(out, "  "+e.Name) {
+				t.Errorf("WriteList output missing entry %q", e.Name)
+			}
+		}
+	}
+}

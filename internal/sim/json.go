@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON encodings for the two rule enums, so declarative scenario files read
+// "CR4" and "async" instead of bare integers. Unmarshaling also accepts the
+// numeric forms for hand-written files.
+
+// MarshalJSON encodes the rule as its name ("CR1".."CR4").
+func (c CollisionRule) MarshalJSON() ([]byte, error) {
+	if c < CR1 || c > CR4 {
+		return nil, fmt.Errorf("cannot marshal invalid collision rule %d", int(c))
+	}
+	return json.Marshal(c.String())
+}
+
+// UnmarshalJSON decodes "CR3" or the bare number 3.
+func (c *CollisionRule) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		for r := CR1; r <= CR4; r++ {
+			if r.String() == s {
+				*c = r
+				return nil
+			}
+		}
+		return fmt.Errorf("unknown collision rule %q (want CR1..CR4)", s)
+	}
+	var n int
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("collision rule must be a string or number, got %s", b)
+	}
+	if n < int(CR1) || n > int(CR4) {
+		return fmt.Errorf("collision rule %d outside 1..4", n)
+	}
+	*c = CollisionRule(n)
+	return nil
+}
+
+// MarshalJSON encodes the start rule as "sync" or "async".
+func (s StartRule) MarshalJSON() ([]byte, error) {
+	if s < SyncStart || s > AsyncStart {
+		return nil, fmt.Errorf("cannot marshal invalid start rule %d", int(s))
+	}
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON decodes "sync"/"async" or the bare numbers 1/2.
+func (s *StartRule) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err == nil {
+		switch name {
+		case "sync":
+			*s = SyncStart
+		case "async":
+			*s = AsyncStart
+		default:
+			return fmt.Errorf("unknown start rule %q (want sync or async)", name)
+		}
+		return nil
+	}
+	var n int
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("start rule must be a string or number, got %s", b)
+	}
+	if n < int(SyncStart) || n > int(AsyncStart) {
+		return fmt.Errorf("start rule %d outside 1..2", n)
+	}
+	*s = StartRule(n)
+	return nil
+}

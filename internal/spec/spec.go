@@ -1,0 +1,270 @@
+// Package spec is the declarative experiment layer: a Scenario is one fully
+// specified simulation cell (topology + algorithm + adversary + run config)
+// as a plain, JSON-round-trippable value, and a Sweep is a whole Cartesian
+// grid of them. Scenarios are built with functional options, validated once
+// against the name registries (internal/registry), and executed on the
+// deterministic trial engine — so a sweep serialized to a file, shipped to
+// another machine, and run there produces bit-identical output.
+//
+// The positional call
+//
+//	net, _ := dualgraph.Geometric(65, 0.28, 0.7, rng)
+//	alg, _ := dualgraph.NewHarmonicForN(65, 0.02)
+//	res, _ := dualgraph.Run(net, alg, dualgraph.GreedyCollider{}, cfg)
+//
+// becomes
+//
+//	s, _ := spec.New(
+//		spec.WithTopology("geometric", nil),
+//		spec.WithN(65),
+//		spec.WithAlgorithm("harmonic", nil),
+//		spec.WithAdversary("greedy", nil),
+//		spec.WithSeed(1),
+//	)
+//	res, _ := s.Run()
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dualgraph/internal/engine"
+	"dualgraph/internal/graph"
+	"dualgraph/internal/registry"
+	"dualgraph/internal/sim"
+)
+
+// Choice names one registered constructor plus its parameters. A zero
+// Params (or nil) means the registry defaults.
+type Choice struct {
+	// Name is the registry lookup key (e.g. "geometric").
+	Name string `json:"name"`
+	// Params overrides the constructor's default parameters.
+	Params registry.Params `json:"params,omitempty"`
+}
+
+// label renders the choice for cell labels: the bare name, plus params only
+// when overridden.
+func (c Choice) label() string {
+	if len(c.Params) == 0 {
+		return c.Name
+	}
+	b, err := json.Marshal(c.Params)
+	if err != nil {
+		return c.Name
+	}
+	return c.Name + string(b)
+}
+
+// Scenario is one declarative simulation cell. The zero value is not
+// runnable; build one with New (which applies defaults and validates) or
+// unmarshal one from JSON and call Validate.
+type Scenario struct {
+	// Topology names the network generator.
+	Topology Choice `json:"topology"`
+	// Algorithm names the broadcast algorithm.
+	Algorithm Choice `json:"algorithm"`
+	// Adversary names the adversary.
+	Adversary Choice `json:"adversary"`
+	// N is the requested network size. Generators with structural sizes
+	// (grid, layered) may build a nearby size; the algorithm is always
+	// constructed for the built size.
+	N int `json:"n"`
+	// Rule is the collision rule (JSON: "CR1".."CR4").
+	Rule sim.CollisionRule `json:"rule"`
+	// Start is the start rule (JSON: "sync"/"async").
+	Start sim.StartRule `json:"start"`
+	// Seed drives topology construction and the run (or, for sweeps, the
+	// per-trial seed derivation).
+	Seed int64 `json:"seed"`
+	// MaxRounds caps the execution; 0 means the simulator default.
+	MaxRounds int `json:"max_rounds,omitempty"`
+}
+
+// Option mutates a Scenario under construction.
+type Option func(*Scenario)
+
+// WithTopology selects the named topology; p may be nil for defaults.
+func WithTopology(name string, p registry.Params) Option {
+	return func(s *Scenario) { s.Topology = Choice{Name: name, Params: p} }
+}
+
+// WithAlgorithm selects the named algorithm; p may be nil for defaults.
+func WithAlgorithm(name string, p registry.Params) Option {
+	return func(s *Scenario) { s.Algorithm = Choice{Name: name, Params: p} }
+}
+
+// WithAdversary selects the named adversary; p may be nil for defaults.
+func WithAdversary(name string, p registry.Params) Option {
+	return func(s *Scenario) { s.Adversary = Choice{Name: name, Params: p} }
+}
+
+// WithN sets the requested network size.
+func WithN(n int) Option { return func(s *Scenario) { s.N = n } }
+
+// WithCollisionRule sets the collision rule.
+func WithCollisionRule(r sim.CollisionRule) Option { return func(s *Scenario) { s.Rule = r } }
+
+// WithStart sets the start rule.
+func WithStart(r sim.StartRule) Option { return func(s *Scenario) { s.Start = r } }
+
+// WithSeed sets the base seed.
+func WithSeed(seed int64) Option { return func(s *Scenario) { s.Seed = seed } }
+
+// WithMaxRounds caps the execution length (0 = simulator default).
+func WithMaxRounds(m int) Option { return func(s *Scenario) { s.MaxRounds = m } }
+
+// Default is the scenario New starts from: the paper's headline cell
+// (Harmonic Broadcast vs the greedy collider on a 33-node clique-bridge
+// network under CR4/async, seed 1) — the same defaults cmd/dgsim has always
+// used.
+func Default() Scenario {
+	return Scenario{
+		Topology:  Choice{Name: "clique-bridge"},
+		Algorithm: Choice{Name: "harmonic"},
+		Adversary: Choice{Name: "greedy"},
+		N:         33,
+		Rule:      sim.CR4,
+		Start:     sim.AsyncStart,
+		Seed:      1,
+	}
+}
+
+// New builds a Scenario from Default plus opts and validates it once.
+func New(opts ...Option) (Scenario, error) {
+	s := Default()
+	for _, opt := range opts {
+		opt(&s)
+	}
+	if err := s.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
+// Validate checks the scenario without building it: all three names must
+// resolve in their registries with well-typed parameters, and the scalar
+// fields must be in range. Unknown names fail with *registry.ErrUnknownName,
+// which lists the valid names and close suggestions.
+func (s Scenario) Validate() error {
+	if err := registry.ValidateTopology(s.Topology.Name, s.Topology.Params); err != nil {
+		return err
+	}
+	if err := registry.ValidateAlgorithm(s.Algorithm.Name, s.Algorithm.Params); err != nil {
+		return err
+	}
+	if err := registry.ValidateAdversary(s.Adversary.Name, s.Adversary.Params); err != nil {
+		return err
+	}
+	if s.N < 1 {
+		return fmt.Errorf("scenario: n must be >= 1, got %d", s.N)
+	}
+	if s.Rule < sim.CR1 || s.Rule > sim.CR4 {
+		return fmt.Errorf("scenario: collision rule %d outside CR1..CR4", int(s.Rule))
+	}
+	if s.Start != sim.SyncStart && s.Start != sim.AsyncStart {
+		return fmt.Errorf("scenario: start rule %d is neither sync nor async", int(s.Start))
+	}
+	if s.MaxRounds < 0 {
+		return fmt.Errorf("scenario: max_rounds must be >= 0, got %d", s.MaxRounds)
+	}
+	return nil
+}
+
+// Label renders the scenario as a compact single-line identifier.
+func (s Scenario) Label() string {
+	return fmt.Sprintf("topo=%s n=%d alg=%s adv=%s rule=%v start=%v seed=%d",
+		s.Topology.label(), s.N, s.Algorithm.label(), s.Adversary.label(), s.Rule, s.Start, s.Seed)
+}
+
+// Built is a materialized Scenario: the constructed network, algorithm,
+// adversary, and sim config, ready to run. Building is deterministic — the
+// same Scenario always materializes the same values.
+type Built struct {
+	// Scenario is the spec this was built from.
+	Scenario Scenario
+	// Net is the constructed network (its N() may differ from the requested
+	// size for structural generators).
+	Net *graph.Dual
+	// Alg is the algorithm, constructed for Net.N() processes.
+	Alg sim.Algorithm
+	// Adv is the adversary.
+	Adv sim.Adversary
+	// Cfg is the run configuration (callers may adjust, e.g. MaxRounds,
+	// before running).
+	Cfg sim.Config
+}
+
+// Build validates and materializes the scenario.
+func (s Scenario) Build() (*Built, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	net, err := registry.Topology(s.Topology.Name, s.N, s.Seed, s.Topology.Params)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	alg, err := registry.Algorithm(s.Algorithm.Name, net.N(), s.Algorithm.Params)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	adv, err := registry.Adversary(s.Adversary.Name, s.Adversary.Params)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return &Built{
+		Scenario: s,
+		Net:      net,
+		Alg:      alg,
+		Adv:      adv,
+		Cfg: sim.Config{
+			Rule:      s.Rule,
+			Start:     s.Start,
+			MaxRounds: s.MaxRounds,
+			Seed:      s.Seed,
+		},
+	}, nil
+}
+
+// Run executes the built scenario once.
+func (b *Built) Run() (*sim.Result, error) {
+	return sim.Run(b.Net, b.Alg, b.Adv, b.Cfg)
+}
+
+// RunMany fans trials independent runs over the engine (see engine.RunMany
+// for the seed-derivation and determinism contract).
+func (b *Built) RunMany(trials int, ec engine.Config) ([]*sim.Result, error) {
+	return engine.RunMany(b.Net, b.Alg, b.Adv, b.Cfg, trials, ec)
+}
+
+// RunStream is the memory-bounded sweep (see engine.RunStream).
+func (b *Built) RunStream(trials int, ec engine.Config, sc engine.StreamConfig) (*engine.TrialSummary, error) {
+	return engine.RunStream(b.Net, b.Alg, b.Adv, b.Cfg, trials, ec, sc)
+}
+
+// Run builds the scenario and executes it once.
+func (s Scenario) Run() (*sim.Result, error) {
+	b, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	return b.Run()
+}
+
+// RunMany builds the scenario and fans trials runs over the engine.
+func (s Scenario) RunMany(trials int, ec engine.Config) ([]*sim.Result, error) {
+	b, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	return b.RunMany(trials, ec)
+}
+
+// RunStream builds the scenario and executes a memory-bounded sweep.
+func (s Scenario) RunStream(trials int, ec engine.Config, sc engine.StreamConfig) (*engine.TrialSummary, error) {
+	b, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	return b.RunStream(trials, ec, sc)
+}

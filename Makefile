@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check staticcheck test test-short race bench-smoke bench-json ci
+.PHONY: all build vet fmt-check staticcheck test test-short race bench-smoke bench-json docs-registry docs-check ci
 
 all: build
 
@@ -49,19 +49,39 @@ race:
 bench-smoke:
 	$(GO) test -run NONE -bench 'BenchmarkEngine|BenchmarkSimRoundLoop' -benchtime 3x .
 
-# The perf-trajectory artifact: hot-path, reducer, grid, and graph-layer
-# benchmarks parsed into BENCH_pr4.json (benchmark name -> ns/op, B/op,
-# allocs/op, custom metrics). The 'BenchmarkEngine' pattern covers both the
-# slice path (EngineSequential/Parallel) and the streaming reducer
+# The perf-trajectory artifact: hot-path, reducer, grid, graph-layer, and
+# dynamics benchmarks parsed into BENCH_pr5.json (benchmark name -> ns/op,
+# B/op, allocs/op, custom metrics). The 'BenchmarkEngine' pattern covers
+# both the slice path (EngineSequential/Parallel) and the streaming reducer
 # (EngineReduceSequential/Parallel); 'BenchmarkGridSweep' captures
 # cross-cell parallel throughput of the declarative grid runner vs
-# sequential cells. CI uploads the file so the trend is comparable across
-# PRs.
+# sequential cells; 'BenchmarkEpochSwap'/'BenchmarkDynamicSweep' start the
+# trajectory of the dynamic-topology path. CI uploads the file so the trend
+# is comparable across PRs.
 bench-json:
-	$(GO) test -run NONE -bench 'BenchmarkEngine|BenchmarkSimRoundLoop|BenchmarkGridSweep' -benchmem -benchtime 3x . > bench_raw.txt
+	$(GO) test -run NONE -bench 'BenchmarkEngine|BenchmarkSimRoundLoop|BenchmarkGridSweep|BenchmarkEpochSwap|BenchmarkDynamicSweep' -benchmem -benchtime 3x . > bench_raw.txt
 	$(GO) test -run NONE -bench 'BenchmarkGraphConstruction|BenchmarkUnreliableMembership|BenchmarkGeometricBuild100k|BenchmarkPreferentialAttachmentBuild100k' -benchmem -benchtime 3x ./internal/graph/ >> bench_raw.txt
-	$(GO) run ./cmd/benchjson < bench_raw.txt > BENCH_pr4.json
+	$(GO) run ./cmd/benchjson < bench_raw.txt > BENCH_pr5.json
 	@rm -f bench_raw.txt
-	@echo "wrote BENCH_pr4.json"
+	@echo "wrote BENCH_pr5.json"
 
-ci: build vet fmt-check staticcheck test race
+# Regenerate the registry reference (docs/REGISTRY.md) from the code's own
+# registry tables. Commit the result; docs-check fails CI on drift.
+# (Generate into a temp file first: `> docs/REGISTRY.md` would truncate the
+# tracked file before the generator even compiles.)
+docs-registry:
+	@mkdir -p docs
+	$(GO) run ./cmd/regdocs > docs/.REGISTRY.md.tmp && mv docs/.REGISTRY.md.tmp docs/REGISTRY.md || { rm -f docs/.REGISTRY.md.tmp; exit 1; }
+	@echo "wrote docs/REGISTRY.md"
+
+# Drift gate: the committed docs/REGISTRY.md must match what the registry
+# tables generate right now. The tracked-file check comes first because
+# `git diff` exits 0 for untracked (or deleted-and-committed) paths, which
+# would make the gate vacuous.
+docs-check: docs-registry
+	@git ls-files --error-unmatch docs/REGISTRY.md >/dev/null 2>&1 || \
+		{ echo "docs/REGISTRY.md is not tracked; commit the generated file"; exit 1; }
+	@git diff --exit-code docs/REGISTRY.md || \
+		{ echo "docs/REGISTRY.md drifted from the registry tables; commit the regenerated file"; exit 1; }
+
+ci: build vet fmt-check staticcheck docs-check test race

@@ -584,3 +584,76 @@ func BenchmarkGridSweepSequential(b *testing.B) {
 func BenchmarkGridSweepParallel(b *testing.B) {
 	benchGridSweep(b, runtime.GOMAXPROCS(0))
 }
+
+// BenchmarkEpochSwap measures the epoch-boundary cost of the dynamics
+// layer in isolation: materializing successive churn epochs of a 1000-node
+// geometric dual (filtered rebuild through Builder→Freeze plus the fringe
+// subtract) — the price a dynamic run pays every epoch-len rounds, while
+// rounds within an epoch stay on the untouched allocation-free hot path.
+func BenchmarkEpochSwap(b *testing.B) {
+	d, err := graph.Geometric(1000, 0.06, 0.14, dualgraph.NewRand(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched, err := graph.NewChurn(d, 8, 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arcs := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ep, err := sched.Epoch(1+i%64, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		arcs = ep.GPrime().NumEdges()
+	}
+	b.ReportMetric(float64(arcs), "arcs/epoch")
+}
+
+// benchDynamicSweep runs a churn-schedule Monte Carlo sweep through the
+// streaming reducer: the end-to-end dynamics path (epoch builds + swaps +
+// round loop) under the engine's per-trial seed derivation.
+func benchDynamicSweep(b *testing.B, workers int) {
+	b.Helper()
+	n := 65
+	d, err := graph.Geometric(n, 0.28, 0.7, dualgraph.NewRand(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched, err := graph.NewChurn(d, 8, 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alg, err := core.NewHarmonicForN(n, 0.02)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound := int(4 * float64(n*alg.T) * stats.HarmonicNumber(n))
+	simCfg := sim.Config{Rule: sim.CR4, Start: sim.AsyncStart, Seed: 1, MaxRounds: bound}
+	const trials = 32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, err := engine.RunStreamSchedule(sched, alg, adversary.GreedyCollider{}, simCfg, trials,
+			engine.Config{Workers: workers}, engine.StreamConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.Completed != trials {
+			b.Fatalf("broadcast incomplete: %d/%d", sum.Completed, sum.Trials)
+		}
+	}
+	b.ReportMetric(float64(trials), "trials/op")
+}
+
+// BenchmarkDynamicSweepSequential is the single-worker dynamics baseline:
+// 32 churn-schedule trials on one core.
+func BenchmarkDynamicSweepSequential(b *testing.B) {
+	benchDynamicSweep(b, 1)
+}
+
+// BenchmarkDynamicSweepParallel fans the same dynamic trials over one
+// worker per CPU; the summary is bit-identical to the sequential run.
+func BenchmarkDynamicSweepParallel(b *testing.B) {
+	benchDynamicSweep(b, runtime.GOMAXPROCS(0))
+}

@@ -45,7 +45,7 @@ func run(args []string, w io.Writer) error {
 		seed        = fs.Int64("seed", 1, "random seed")
 		workers     = fs.Int("workers", 0, "trial engine worker count (0 = one per CPU); output is identical at any value")
 		reduceBench = fs.Int("reduce-bench", 0, "if > 0, skip experiments and measure streaming-reducer throughput over this many trials")
-		list        = fs.Bool("list", false, "print registered topologies/algorithms/adversaries with parameter docs, then exit (use -experiment list for the experiment index)")
+		list        = fs.Bool("list", false, "print registered topologies/algorithms/adversaries/schedules with parameter docs, then exit (use -experiment list for the experiment index)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err

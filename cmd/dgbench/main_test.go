@@ -40,6 +40,9 @@ func TestRegistryList(t *testing.T) {
 		"  clique-bridge      Theorem 2 network: (n-1)-clique with a receiver behind a bridge; G' complete",
 		"      epsilon          float  failure probability in the paper's T = ceil(12 ln(n/ε)) (default 0.02)",
 		"  benign             never uses unreliable edges (the classical static model)",
+		"schedules:",
+		"  static             fixed topology for the whole run (the historical behaviour; the default)",
+		"      p-down           float  per-epoch per-node crash probability (default 0.2)",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("-list output missing %q\n---\n%s", want, out)
@@ -89,6 +92,49 @@ func TestReduceBench(t *testing.T) {
 	}
 	if !strings.Contains(lines[2], "trials/s") {
 		t.Fatalf("throughput line = %q", lines[2])
+	}
+}
+
+// TestExperimentsByteIdenticalAcrossWorkers is the dgbench half of the
+// static-schedule byte-identity property: the Table 2 dual-harmonic
+// experiment (whose cells now run through the schedule-aware engine) must
+// print exactly the output the pre-dynamics binary printed, at every worker
+// count. The pinned lines were captured from the binary built at the
+// previous commit with -quick -seed 1.
+func TestExperimentsByteIdenticalAcrossWorkers(t *testing.T) {
+	var first string
+	for _, workers := range []string{"1", "2", "8"} {
+		out := runOutput(t, "-experiment", "table2-dual-harmonic", "-quick", "-seed", "1", "-workers", workers)
+		if first == "" {
+			first = out
+		} else if out != first {
+			t.Fatalf("workers=%s output differs from workers=1", workers)
+		}
+		for _, want := range []string{
+			"clique-bridge     17  81  405            9472         0.043         5/5\n",
+			"complete-layered  65  98  4605           60633  0.076  5/5\n",
+			"random                                   fit: rounds ≈ 27.59·n^0.96\n",
+		} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("workers=%s output missing pre-dynamics golden line %q:\n%s", workers, want, out)
+			}
+		}
+	}
+}
+
+// TestDynamicExperimentRuns smoke-tests the dynamics extension experiment:
+// every schedule cell completes and the schedule axis labels surface.
+func TestDynamicExperimentRuns(t *testing.T) {
+	out := runOutput(t, "-experiment", "ext-dynamic", "-quick", "-seed", "1", "-workers", "2")
+	for _, want := range []string{
+		"== ext-dynamic",
+		"sched=static",
+		`sched=churn{"p-down":0.3}`,
+		"sched=waypoint",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ext-dynamic output missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -16,26 +16,46 @@
 //	dgsim -topo clique-bridge -n 33 -alg harmonic -adv greedy -rule 4 -seed 7 -v
 //	dgsim -topo geometric -n 65 -alg harmonic -adv greedy -trials 1000
 //	dgsim -topo clique-bridge -n 17 -alg harmonic -adv greedy -trials 1000000 -stream
+//	dgsim -topo geometric -n 65 -alg harmonic -adv greedy -sched churn -trials 100
 //	dgsim -spec sweep.json -workers 8
 //	dgsim -list
+//
+// With -sched a dynamic epoch schedule (churn, fade, waypoint mobility)
+// mutates the topology every few rounds; schedule parameters (churn rate,
+// epoch length, ...) are set through a -spec file's "schedule" block.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
 	"sort"
+	"strings"
 
 	"dualgraph"
 )
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "dgsim:", err)
+		printError(os.Stderr, err)
 		os.Exit(1)
+	}
+}
+
+// printError reports a failed run on stderr. When the error chain carries a
+// registry *ErrUnknownName with near-miss suggestions, they are printed as
+// their own stderr line: the typed error's Error() text only surfaces the
+// closest one, and on the -spec path the long valid-name list buried the
+// hint entirely.
+func printError(w io.Writer, err error) {
+	fmt.Fprintln(w, "dgsim:", err)
+	var unknown *dualgraph.ErrUnknownName
+	if errors.As(err, &unknown) && len(unknown.Suggestions) > 0 {
+		fmt.Fprintf(w, "dgsim: did you mean: %s?\n", strings.Join(unknown.Suggestions, ", "))
 	}
 }
 
@@ -48,6 +68,7 @@ func run(args []string, w io.Writer) error {
 		advName   = fs.String("adv", "greedy", "adversary name (see -list)")
 		rule      = fs.Int("rule", 4, "collision rule 1..4")
 		start     = fs.String("start", "async", "start rule: sync|async")
+		sched     = fs.String("sched", "static", "epoch schedule name driving topology dynamics (see -list); defaults via -spec for parameters")
 		seed      = fs.Int64("seed", 1, "random seed")
 		maxRounds = fs.Int("max-rounds", 0, "round cap (0 = default)")
 		p         = fs.Float64("p", 0.25, "probability parameter for uniform algorithm / random adversary")
@@ -56,7 +77,7 @@ func run(args []string, w io.Writer) error {
 		workers   = fs.Int("workers", 0, "trial engine worker count (0 = one per CPU)")
 		stream    = fs.Bool("stream", false, "aggregate trials with the streaming reducer (memory bounded at any -trials; quantiles exact up to the spill threshold, P² estimates beyond)")
 		specPath  = fs.String("spec", "", "run the declarative sweep in this JSON file instead of the cell flags")
-		list      = fs.Bool("list", false, "print registered topologies/algorithms/adversaries with parameter docs, then exit")
+		list      = fs.Bool("list", false, "print registered topologies/algorithms/adversaries/schedules with parameter docs, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,6 +130,7 @@ func run(args []string, w io.Writer) error {
 		dualgraph.WithN(*n),
 		dualgraph.WithAlgorithm(*algName, algP),
 		dualgraph.WithAdversary(*advName, advP),
+		dualgraph.WithSchedule(*sched, nil),
 		dualgraph.WithCollisionRule(dualgraph.CollisionRule(*rule)),
 		dualgraph.WithStart(startRule(*start)),
 		dualgraph.WithSeed(*seed),
@@ -139,20 +161,28 @@ func run(args []string, w io.Writer) error {
 			*trials, streamSuffix(*stream))
 	}
 	if *stream {
-		return runStream(w, built, *topo, *rule, *start, *seed, *trials, *workers)
+		return runStream(w, built, *topo, schedSuffix(*sched), *rule, *start, *seed, *trials, *workers)
 	}
 	if *trials > 1 {
-		return runMany(w, built, *topo, *rule, *start, *seed, *trials, *workers)
+		return runMany(w, built, *topo, schedSuffix(*sched), *rule, *start, *seed, *trials, *workers)
 	}
 
 	res, err := built.Run()
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "topology=%s n=%d alg=%s adversary=%s rule=CR%d start=%s seed=%d\n",
-		*topo, built.Net.N(), built.Alg.Name(), built.Adv.Name(), *rule, *start, *seed)
+	// Report the network the run actually started on: epoch 0 of the
+	// schedule. For static/churn/fade that is the built base network; for
+	// generative schedules (waypoint) the base only contributes its size,
+	// so its eccentricity would describe a network the run never used.
+	net0, err := built.Sched.Epoch(0, built.Cfg.Seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "topology=%s n=%d alg=%s adversary=%s rule=CR%d start=%s seed=%d%s\n",
+		*topo, net0.N(), built.Alg.Name(), built.Adv.Name(), *rule, *start, *seed, schedSuffix(*sched))
 	fmt.Fprintf(w, "completed=%v rounds=%d transmissions=%d eccentricity=%d\n",
-		res.Completed, res.Rounds, res.Transmissions, built.Net.Eccentricity())
+		res.Completed, res.Rounds, res.Transmissions, net0.Eccentricity())
 	if *verbose {
 		for node, r := range res.FirstReceive {
 			fmt.Fprintf(w, "  node %3d (pid %3d): first receive round %d\n", node, res.ProcOf[node], r)
@@ -189,6 +219,16 @@ func streamSuffix(stream bool) string {
 		return " -stream"
 	}
 	return ""
+}
+
+// schedSuffix renders the header fragment of a dynamic run; static runs —
+// named "static" or spelled as the empty default, like the spec layer
+// treats them — keep their historical headers byte-identical.
+func schedSuffix(sched string) string {
+	if sched == "" || sched == "static" {
+		return ""
+	}
+	return " sched=" + sched
 }
 
 // runSpec executes a declarative sweep file: every cell of the Cartesian
@@ -238,20 +278,20 @@ func summaryLine(sum *dualgraph.TrialSummary) string {
 // max are exact; mean is exact up to rounding; quantiles are exact while
 // the trial count is within the sketch's exact regime and P² estimates
 // beyond it. Output is identical at any -workers value.
-func runStream(w io.Writer, b *dualgraph.BuiltScenario, topo string, rule int, start string, seed int64, trials, workers int) error {
+func runStream(w io.Writer, b *dualgraph.BuiltScenario, topo, sched string, rule int, start string, seed int64, trials, workers int) error {
 	sum, err := b.RunStream(trials, dualgraph.EngineConfig{Workers: workers}, dualgraph.StreamConfig{})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "topology=%s n=%d alg=%s adversary=%s rule=CR%d start=%s seed=%d trials=%d stream=true\n",
-		topo, b.Net.N(), b.Alg.Name(), b.Adv.Name(), rule, start, seed, trials)
+	fmt.Fprintf(w, "topology=%s n=%d alg=%s adversary=%s rule=CR%d start=%s seed=%d trials=%d stream=true%s\n",
+		topo, b.Net.N(), b.Alg.Name(), b.Adv.Name(), rule, start, seed, trials, sched)
 	fmt.Fprintf(w, "%s\n", summaryLine(sum))
 	return nil
 }
 
 // runMany executes a Monte Carlo sweep through the parallel trial engine
 // and prints aggregate round statistics.
-func runMany(w io.Writer, b *dualgraph.BuiltScenario, topo string, rule int, start string, seed int64, trials, workers int) error {
+func runMany(w io.Writer, b *dualgraph.BuiltScenario, topo, sched string, rule int, start string, seed int64, trials, workers int) error {
 	results, err := b.RunMany(trials, dualgraph.EngineConfig{Workers: workers})
 	if err != nil {
 		return err
@@ -268,8 +308,8 @@ func runMany(w io.Writer, b *dualgraph.BuiltScenario, topo string, rule int, sta
 	}
 	sort.Ints(rounds)
 	pct := func(q float64) int { return rounds[int(q*float64(len(rounds)-1))] }
-	fmt.Fprintf(w, "topology=%s n=%d alg=%s adversary=%s rule=CR%d start=%s seed=%d trials=%d\n",
-		topo, b.Net.N(), b.Alg.Name(), b.Adv.Name(), rule, start, seed, trials)
+	fmt.Fprintf(w, "topology=%s n=%d alg=%s adversary=%s rule=CR%d start=%s seed=%d trials=%d%s\n",
+		topo, b.Net.N(), b.Alg.Name(), b.Adv.Name(), rule, start, seed, trials, sched)
 	fmt.Fprintf(w, "completed=%d/%d rounds: min=%d p50=%d p90=%d p99=%d max=%d mean-transmissions=%.1f\n",
 		completed, trials, rounds[0], pct(0.50), pct(0.90), pct(0.99),
 		rounds[len(rounds)-1], float64(totalTx)/float64(trials))

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -244,6 +245,134 @@ func TestVerboseRejectedForSweeps(t *testing.T) {
 		if sb.Len() != 0 {
 			t.Errorf("run(%v) produced output despite the flag error", args)
 		}
+	}
+}
+
+// TestStaticScheduleByteIdentical is the dynamics-tentpole regression
+// property: with the default (or explicit) "static" schedule, dgsim output
+// must be byte-identical to the pre-dynamics binaries at fixed seeds,
+// across worker counts, on both the slice and streaming aggregation paths.
+// The want strings were captured from the binaries built at the previous
+// commit.
+func TestStaticScheduleByteIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want []string
+	}{
+		{
+			name: "many",
+			args: []string{"-topo", "geometric", "-n", "40", "-alg", "harmonic",
+				"-adv", "greedy", "-trials", "16", "-seed", "7"},
+			want: []string{
+				"topology=geometric n=40 alg=harmonic(T=92) adversary=greedy-collider rule=CR4 start=async seed=7 trials=16",
+				"completed=16/16 rounds: min=974 p50=1314 p90=1408 p99=1442 max=1467 mean-transmissions=9861.6",
+			},
+		},
+		{
+			name: "stream",
+			args: []string{"-topo", "clique-bridge", "-n", "17", "-alg", "harmonic",
+				"-adv", "greedy", "-trials", "32", "-seed", "3", "-stream"},
+			want: []string{
+				"topology=clique-bridge n=17 alg=harmonic(T=81) adversary=greedy-collider rule=CR4 start=async seed=3 trials=32 stream=true",
+				"completed=32/32 rounds: min=199 mean=368.28 p50=362.50 p90=493.70 p95=524.75 p99=548.83 max=551 mean-transmissions=2794.8",
+			},
+		},
+	}
+	for _, c := range cases {
+		for _, workers := range []string{"1", "2", "8"} {
+			for _, explicit := range []bool{false, true} {
+				args := append([]string{}, c.args...)
+				args = append(args, "-workers", workers)
+				if explicit {
+					args = append(args, "-sched", "static")
+				}
+				lines := runLines(t, args...)
+				for i, w := range c.want {
+					if i >= len(lines) || lines[i] != w {
+						t.Fatalf("%s workers=%s explicit=%v line %d = %q, want %q",
+							c.name, workers, explicit, i, lines[i], w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSchedFlagDynamicGolden pins a dynamic run end to end: the churn
+// schedule header carries the sched fragment and the aggregate is
+// bit-identical at any worker count (per-epoch randomness is a pure
+// function of each trial's seed).
+func TestSchedFlagDynamicGolden(t *testing.T) {
+	var want []string
+	for _, workers := range []string{"1", "2", "8"} {
+		lines := runLines(t,
+			"-topo", "geometric", "-n", "40", "-alg", "harmonic", "-adv", "greedy",
+			"-sched", "churn", "-trials", "8", "-seed", "7", "-workers", workers)
+		if got := "topology=geometric n=40 alg=harmonic(T=92) adversary=greedy-collider rule=CR4 start=async seed=7 trials=8 sched=churn"; lines[0] != got {
+			t.Fatalf("workers=%s header = %q", workers, lines[0])
+		}
+		if want == nil {
+			want = lines
+			continue
+		}
+		for i := range want {
+			if lines[i] != want[i] {
+				t.Fatalf("workers=%s line %d = %q, want %q (worker-count dependence)", workers, i, lines[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSchedUnknownSuggests: the schedule registry plugs into the same typed
+// suggestion error as the other three registries.
+func TestSchedUnknownSuggests(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-sched", "statc"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), `did you mean "static"?`) {
+		t.Fatalf("err = %v, want the static suggestion", err)
+	}
+	if !strings.Contains(err.Error(), "valid schedule names") {
+		t.Fatalf("err = %v, want the schedule name list", err)
+	}
+}
+
+// TestErrorPrintsSuggestionsToStderr is the CLI golden test for the
+// suggestion bugfix: when a run fails on an unknown registry name, the
+// stderr report must carry a dedicated did-you-mean line with every
+// suggestion — including on the -spec path, where the error text used to
+// bury the hint behind the full valid-name list.
+func TestErrorPrintsSuggestionsToStderr(t *testing.T) {
+	specPath := filepath.Join(t.TempDir(), "sweep.json")
+	blob := `{"base": {"topology": {"name": "geometirc"}}}`
+	if err := os.WriteFile(specPath, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-topo", "geometirc"}, "dgsim: did you mean: geometric?\n"},
+		{[]string{"-spec", specPath}, "dgsim: did you mean: geometric?\n"},
+		{[]string{"-sched", "fode"}, "dgsim: did you mean: fade?\n"},
+	}
+	for _, c := range cases {
+		var out, stderr strings.Builder
+		err := run(c.args, &out)
+		if err == nil {
+			t.Fatalf("run(%v): expected error", c.args)
+		}
+		printError(&stderr, err)
+		lines := strings.SplitAfter(stderr.String(), "\n")
+		if len(lines) < 2 || lines[1] != c.want {
+			t.Errorf("run(%v) stderr suggestion line = %q, want %q", c.args, stderr.String(), c.want)
+		}
+	}
+	// Errors without a registry lookup keep the single-line report.
+	var stderr strings.Builder
+	printError(&stderr, fmt.Errorf("trials must be >= 1"))
+	if got := stderr.String(); got != "dgsim: trials must be >= 1\n" {
+		t.Errorf("plain error stderr = %q", got)
 	}
 }
 

@@ -1,0 +1,16 @@
+// Command regdocs prints docs/REGISTRY.md to stdout: the markdown rendering
+// of every registry table (topologies, algorithms, adversaries, schedules)
+// with their parameter schemas. `make docs-registry` pipes it into the
+// committed file and CI fails when the two drift (`make docs-check`), so
+// the registry documentation can never silently fall behind the code.
+package main
+
+import (
+	"os"
+
+	"dualgraph"
+)
+
+func main() {
+	dualgraph.WriteRegistryMarkdown(os.Stdout)
+}

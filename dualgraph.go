@@ -170,6 +170,62 @@ type (
 // NewStream builds a standalone streaming accumulator (see Stream).
 var NewStream = stats.NewStream
 
+// Dynamic networks: epoch-scheduled time-varying topologies.
+type (
+	// EpochSchedule produces the sequence of frozen networks (epochs) of a
+	// dynamic run; see the internal/graph dynamic-dual-graph docs for the
+	// purity and validity contract. Built-ins: StaticSchedule, and the
+	// churn/fade/waypoint schedules addressed through the schedule registry
+	// (WithSchedule, NamedSchedule).
+	EpochSchedule = graph.Schedule
+	// StaticSchedule wraps a fixed network as a schedule; RunDynamic over it
+	// is exactly Run.
+	StaticSchedule = graph.StaticSchedule
+)
+
+// StaticNetwork wraps a fixed network as the trivial epoch schedule.
+var StaticNetwork = graph.Static
+
+// EpochSeed derives one epoch's randomness seed from a run seed — the
+// epoch-indexed analogue of the engine's per-trial seed derivation.
+var EpochSeed = graph.EpochSeed
+
+// RunDynamic executes alg against adv on the time-varying network produced
+// by sched: every EpochLength rounds the current network is swapped for the
+// next epoch while algorithm, adversary, and per-node state survive. A
+// static schedule takes exactly the code path Run takes.
+func RunDynamic(sched EpochSchedule, alg Algorithm, adv Adversary, cfg Config) (*Result, error) {
+	return sim.RunDynamic(sched, alg, adv, cfg)
+}
+
+// RunManySchedule is RunMany over a dynamic network: trial i's seed is the
+// same pure function of (cfg.Seed, i), and each trial's epoch randomness is
+// derived from its trial seed, so dynamic sweeps too are bit-identical at
+// any worker count.
+func RunManySchedule(sched EpochSchedule, alg Algorithm, adv Adversary, cfg Config, trials int, ec EngineConfig) ([]*Result, error) {
+	return engine.RunManySchedule(sched, alg, adv, cfg, trials, ec)
+}
+
+// RunStreamSchedule is RunStream over a dynamic network (memory-bounded
+// dynamic sweeps, same determinism contract as RunManySchedule).
+func RunStreamSchedule(sched EpochSchedule, alg Algorithm, adv Adversary, cfg Config, trials int, ec EngineConfig, sc StreamConfig) (*TrialSummary, error) {
+	return engine.RunStreamSchedule(sched, alg, adv, cfg, trials, ec, sc)
+}
+
+// Epoch-schedule constructors (the registry equivalents are
+// NamedSchedule("churn", ...) etc.).
+var (
+	// NewChurnSchedule models per-epoch node crash/recovery over a base
+	// network (backbone links survive, so every epoch stays a valid Dual).
+	NewChurnSchedule = graph.NewChurn
+	// NewFadeSchedule models per-epoch reliable→unreliable link demotion
+	// (and automatic recovery) over a base network.
+	NewFadeSchedule = graph.NewFade
+	// NewWaypointSchedule models random-waypoint mobility over the geometric
+	// model; the base network contributes its node count and source.
+	NewWaypointSchedule = graph.NewWaypoint
+)
+
 // RunStream is the memory-bounded counterpart of RunMany: the same trials,
 // worker pool, and per-trial seed derivation, but every Result is folded
 // into shard accumulators as soon as it is produced instead of being
@@ -242,6 +298,9 @@ var (
 	WithSeed = spec.WithSeed
 	// WithMaxRounds caps the execution length.
 	WithMaxRounds = spec.WithMaxRounds
+	// WithSchedule selects a registered epoch schedule (topology dynamics);
+	// "static" is the default fixed-topology behaviour.
+	WithSchedule = spec.WithSchedule
 )
 
 // Registry introspection and name-addressed construction.
@@ -252,21 +311,31 @@ var (
 	ListAlgorithms = registry.Algorithms
 	// ListAdversaries returns every registered adversary entry, sorted.
 	ListAdversaries = registry.Adversaries
+	// ListSchedules returns every registered epoch-schedule entry, sorted.
+	ListSchedules = registry.Schedules
 	// NamedTopology builds a registered topology by name at size n.
 	NamedTopology = registry.Topology
 	// NamedAlgorithm builds a registered algorithm by name for n processes.
 	NamedAlgorithm = registry.Algorithm
 	// NamedAdversary builds a registered adversary by name.
 	NamedAdversary = registry.Adversary
+	// NamedSchedule builds a registered epoch schedule by name over an
+	// already-built base network.
+	NamedSchedule = registry.Schedule
 	// TopologyInfo returns the entry header of a named topology.
 	TopologyInfo = registry.TopologyInfo
 	// AlgorithmInfo returns the entry header of a named algorithm.
 	AlgorithmInfo = registry.AlgorithmInfo
 	// AdversaryInfo returns the entry header of a named adversary.
 	AdversaryInfo = registry.AdversaryInfo
+	// ScheduleInfo returns the entry header of a named epoch schedule.
+	ScheduleInfo = registry.ScheduleInfo
 	// WriteRegistry renders every registry with parameter docs (the -list
 	// output of both CLIs).
 	WriteRegistry = registry.WriteList
+	// WriteRegistryMarkdown renders every registry as the generated
+	// docs/REGISTRY.md (see `make docs-registry`).
+	WriteRegistryMarkdown = registry.WriteMarkdown
 )
 
 // Graph construction.

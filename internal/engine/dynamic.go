@@ -1,0 +1,61 @@
+// Dynamic-network trial execution: the schedule-aware counterparts of
+// RunMany and RunStream. Determinism is inherited rather than re-proven:
+// trial i runs with sim seed SeedFor(baseSeed, i) exactly like the static
+// entry points, and sim.RunDynamic derives every epoch's randomness from
+// that trial seed alone (graph.EpochSeed), so a dynamic sweep is
+// bit-identical at any worker count for the same reason a static one is.
+//
+// Schedule implementations must be safe for concurrent Epoch calls — every
+// worker materializes its own trials' epochs. The built-in schedules are:
+// they hold only immutable construction state and derive randomness
+// statelessly per call.
+package engine
+
+import (
+	"dualgraph/internal/graph"
+	"dualgraph/internal/sim"
+	"dualgraph/internal/stats"
+)
+
+// RunManySchedule executes trials independent dynamic runs of one
+// (schedule, alg, adv, simCfg) combination. Trial i runs with sim seed
+// SeedFor(simCfg.Seed, i); a static schedule makes it exactly RunMany.
+func RunManySchedule(sched graph.Schedule, alg sim.Algorithm, adv sim.Adversary, simCfg sim.Config, trials int, cfg Config) ([]*sim.Result, error) {
+	return Map(trials, cfg, func(i int) (*sim.Result, error) {
+		c := simCfg
+		c.Seed = SeedFor(simCfg.Seed, i)
+		return sim.RunDynamic(sched, alg, adv, c)
+	})
+}
+
+// RunStreamSchedule is the memory-bounded dynamic sweep: RunStream's exact
+// seed derivation and shard reduction over sim.RunDynamic executions.
+func RunStreamSchedule(sched graph.Schedule, alg sim.Algorithm, adv sim.Adversary, simCfg sim.Config,
+	trials int, cfg Config, sc StreamConfig) (*TrialSummary, error) {
+	if _, err := stats.NewStream(sc.quantiles(), sc.ExactK); err != nil {
+		return nil, err
+	}
+	return Reduce(trials, cfg,
+		func(i int) (*sim.Result, error) {
+			c := simCfg
+			c.Seed = SeedFor(simCfg.Seed, i)
+			return sim.RunDynamic(sched, alg, adv, c)
+		},
+		sc.newSummary,
+		func(acc *TrialSummary, _ int, res *sim.Result) error {
+			return acc.fold(res)
+		},
+		func(dst, src *TrialSummary) error {
+			return dst.Merge(src)
+		},
+	)
+}
+
+// schedule resolves a trial's schedule: the explicit one when set, else the
+// static wrap of its fixed network.
+func (t Trial) schedule() graph.Schedule {
+	if t.Sched != nil {
+		return t.Sched
+	}
+	return graph.Static(t.Net)
+}

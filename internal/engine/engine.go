@@ -167,12 +167,16 @@ func Map[T any](n int, cfg Config, fn func(trial int) (T, error)) ([]T, error) {
 }
 
 // Trial is one fully specified simulation: a network, an algorithm, an
-// adversary, and a sim configuration (including its own seed).
+// adversary, and a sim configuration (including its own seed). Sched, when
+// set, makes the trial dynamic: the run executes on the schedule's epoch
+// sequence instead of the fixed Net (which then only documents the base
+// topology the schedule was built over).
 type Trial struct {
-	Net *graph.Dual
-	Alg sim.Algorithm
-	Adv sim.Adversary
-	Cfg sim.Config
+	Net   *graph.Dual
+	Sched graph.Schedule
+	Alg   sim.Algorithm
+	Adv   sim.Adversary
+	Cfg   sim.Config
 }
 
 // RunTrials executes heterogeneous trials across the pool and returns their
@@ -182,17 +186,15 @@ type Trial struct {
 func RunTrials(trials []Trial, cfg Config) ([]*sim.Result, error) {
 	return Map(len(trials), cfg, func(i int) (*sim.Result, error) {
 		t := trials[i]
-		return sim.Run(t.Net, t.Alg, t.Adv, t.Cfg)
+		return sim.RunDynamic(t.schedule(), t.Alg, t.Adv, t.Cfg)
 	})
 }
 
 // RunMany executes trials independent runs of one (net, alg, adv, simCfg)
 // combination. Trial i runs with sim seed SeedFor(simCfg.Seed, i), so a
-// fixed simCfg.Seed yields bit-identical results at any worker count.
+// fixed simCfg.Seed yields bit-identical results at any worker count. It is
+// exactly RunManySchedule over a static schedule, mirroring how sim.Run
+// relates to sim.RunDynamic.
 func RunMany(net *graph.Dual, alg sim.Algorithm, adv sim.Adversary, simCfg sim.Config, trials int, cfg Config) ([]*sim.Result, error) {
-	return Map(trials, cfg, func(i int) (*sim.Result, error) {
-		c := simCfg
-		c.Seed = SeedFor(simCfg.Seed, i)
-		return sim.Run(net, alg, adv, c)
-	})
+	return RunManySchedule(graph.Static(net), alg, adv, simCfg, trials, cfg)
 }

@@ -23,6 +23,10 @@ import (
 // returned summary is bit-identical to RunStream of that cell alone, at any
 // worker count of either call.
 //
+// Cells with a Sched run dynamically (sim.RunDynamic) under the same
+// derivation — epoch randomness is a pure function of each trial's seed —
+// so dynamic grids keep the bit-identical-at-any-worker-count guarantee.
+//
 // Work is fanned out at (cell, shard) granularity over one pool: with C
 // cells and S = Shards(trials) shards there are C·S independent units, so
 // the pool stays busy whether the grid is wide (many cells) or deep (many
@@ -69,12 +73,13 @@ func RunGridStream(cells []Trial, trials int, cfg Config, sc StreamConfig) ([]*T
 			}
 			c, s := u/shards, u%shards
 			cell := cells[c]
+			sched := cell.schedule()
 			lo, hi := shardBounds(trials, shards, s)
 			acc := sc.newSummary()
 			for i := lo; i < hi; i++ {
 				simCfg := cell.Cfg
 				simCfg.Seed = SeedFor(cell.Cfg.Seed, i)
-				res, err := sim.Run(cell.Net, cell.Alg, cell.Adv, simCfg)
+				res, err := sim.RunDynamic(sched, cell.Alg, cell.Adv, simCfg)
 				if err == nil {
 					err = acc.fold(res)
 				}

@@ -205,23 +205,8 @@ func (t *TrialSummary) Merge(src *TrialSummary) error {
 // is exact for counts/min/max, exact up to floating-point rounding for
 // mean/variance, and within P² tolerance for quantiles once the trial count
 // exceeds sc.ExactK (below that, quantiles are exact too).
+// It is exactly RunStreamSchedule over a static schedule.
 func RunStream(net *graph.Dual, alg sim.Algorithm, adv sim.Adversary, simCfg sim.Config,
 	trials int, cfg Config, sc StreamConfig) (*TrialSummary, error) {
-	if _, err := stats.NewStream(sc.quantiles(), sc.ExactK); err != nil {
-		return nil, err
-	}
-	return Reduce(trials, cfg,
-		func(i int) (*sim.Result, error) {
-			c := simCfg
-			c.Seed = SeedFor(simCfg.Seed, i)
-			return sim.Run(net, alg, adv, c)
-		},
-		sc.newSummary,
-		func(acc *TrialSummary, _ int, res *sim.Result) error {
-			return acc.fold(res)
-		},
-		func(dst, src *TrialSummary) error {
-			return dst.Merge(src)
-		},
-	)
+	return RunStreamSchedule(graph.Static(net), alg, adv, simCfg, trials, cfg, sc)
 }

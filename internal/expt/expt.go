@@ -70,6 +70,7 @@ func All() []Experiment {
 		ablHarmonicT(),
 		ablAdversary(),
 		extDeltaSelect(),
+		extDynamic(),
 		extPreferentialAttachment(),
 		extRepeatedBroadcast(),
 		extLinkCulling(),

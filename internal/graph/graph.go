@@ -18,6 +18,13 @@
 // assigned in (from, to) lexicographic order), so adversaries and the
 // exhaustive searcher can name per-round delivery choices as edge-id sets
 // instead of (from, to) pairs.
+//
+// Time-varying networks are built on the same immutable cores: a Schedule
+// (see dynamic.go) produces a sequence of frozen Duals — epochs — from a
+// base topology plus a mutation policy (node churn, link fading, waypoint
+// mobility), each epoch assembled through the ordinary Builder→Freeze path,
+// so the simulator's allocation-free hot loop is untouched within an epoch.
+// EdgeIDs are dense per epoch and must never be cached across epochs.
 package graph
 
 import (

@@ -279,14 +279,31 @@ func Geometric(n int, rReliable, rUnreliable float64, rng *rand.Rand) (*Dual, er
 	if n < 2 {
 		return nil, ErrTooSmall
 	}
-	if rUnreliable < rReliable {
-		return nil, fmt.Errorf("rUnreliable (%v) must be >= rReliable (%v)", rUnreliable, rReliable)
-	}
 	xs := make([]float64, n)
 	ys := make([]float64, n)
 	for i := range xs {
 		xs[i] = rng.Float64()
 		ys[i] = rng.Float64()
+	}
+	return DualFromPositions(xs, ys, rReliable, rUnreliable, 0)
+}
+
+// DualFromPositions builds the geometric dual over explicit unit-square
+// coordinates: links shorter than rReliable are reliable, links between
+// rReliable and rUnreliable are unreliable, and a Hamiltonian path in index
+// order is added to G so every node stays reachable from the source. It is
+// the position-driven core shared by Geometric (random placement) and the
+// waypoint mobility schedule (epoch-interpolated placement).
+func DualFromPositions(xs, ys []float64, rReliable, rUnreliable float64, source NodeID) (*Dual, error) {
+	n := len(xs)
+	if n < 2 {
+		return nil, ErrTooSmall
+	}
+	if len(ys) != n {
+		return nil, fmt.Errorf("geometric positions: %d x coordinates but %d y coordinates", n, len(ys))
+	}
+	if rUnreliable < rReliable {
+		return nil, fmt.Errorf("rUnreliable (%v) must be >= rReliable (%v)", rUnreliable, rReliable)
 	}
 	dist := func(u, v int) float64 {
 		return math.Hypot(xs[u]-xs[v], ys[u]-ys[v])
@@ -351,7 +368,7 @@ func Geometric(n int, rReliable, rUnreliable float64, rng *rand.Rand) (*Dual, er
 	for _, e := range unreliable {
 		gp.MustAddEdge(e[0], e[1])
 	}
-	return NewDual(g, gp, 0)
+	return NewDual(g, gp, source)
 }
 
 // BinaryTree returns the classical complete binary tree on n nodes rooted at

@@ -34,6 +34,14 @@ type advEntry struct {
 	build func(e Entry, p Params) (sim.Adversary, error)
 }
 
+// schedEntry pairs an Entry with its epoch-schedule constructor. base is the
+// already-built scenario network the schedule mutates (or, for generative
+// schedules like waypoint mobility, mines for its node count and source).
+type schedEntry struct {
+	Entry
+	build func(e Entry, base *graph.Dual, p Params) (graph.Schedule, error)
+}
+
 func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
 // topologies is the topology registry. Parameter defaults reproduce the
@@ -341,6 +349,96 @@ var adversaries = map[string]*advEntry{
 	},
 }
 
+// schedules is the epoch-schedule registry: the dynamics layer. The
+// "static" entry is the default everywhere and reproduces the historical
+// fixed-topology behaviour exactly; the others mutate (or regenerate) the
+// scenario's network every epoch-len rounds. All parameter defaults are
+// chosen so a bare name is runnable.
+var schedules = map[string]*schedEntry{
+	"static": {
+		Entry: Entry{
+			Name: "static",
+			Doc:  "fixed topology for the whole run (the historical behaviour; the default)",
+		},
+		build: func(_ Entry, base *graph.Dual, _ Params) (graph.Schedule, error) {
+			return graph.Static(base), nil
+		},
+	},
+	"churn": {
+		Entry: Entry{
+			Name: "churn",
+			Doc:  "node churn: each epoch, nodes crash w.p. p-down and lose all non-backbone links (epoch 0 is the unmutated base)",
+			Params: []ParamDoc{
+				{Name: "epoch-len", Type: "int", Default: 8, Doc: "rounds per epoch"},
+				{Name: "p-down", Type: "float", Default: 0.2, Doc: "per-epoch per-node crash probability"},
+			},
+		},
+		build: func(e Entry, base *graph.Dual, p Params) (graph.Schedule, error) {
+			epochLen, err := getInt(p, mustDoc(e, "epoch-len"))
+			if err != nil {
+				return nil, err
+			}
+			pDown, err := getFloat(p, mustDoc(e, "p-down"))
+			if err != nil {
+				return nil, err
+			}
+			return graph.NewChurn(base, epochLen, pDown)
+		},
+	},
+	"fade": {
+		Entry: Entry{
+			Name: "fade",
+			Doc:  "link fading: each epoch, reliable non-backbone edges demote to unreliable w.p. p-fade, and recover next epoch",
+			Params: []ParamDoc{
+				{Name: "epoch-len", Type: "int", Default: 8, Doc: "rounds per epoch"},
+				{Name: "p-fade", Type: "float", Default: 0.3, Doc: "per-epoch per-edge demotion probability"},
+			},
+		},
+		build: func(e Entry, base *graph.Dual, p Params) (graph.Schedule, error) {
+			epochLen, err := getInt(p, mustDoc(e, "epoch-len"))
+			if err != nil {
+				return nil, err
+			}
+			pFade, err := getFloat(p, mustDoc(e, "p-fade"))
+			if err != nil {
+				return nil, err
+			}
+			return graph.NewFade(base, epochLen, pFade)
+		},
+	},
+	"waypoint": {
+		Entry: Entry{
+			Name: "waypoint",
+			Doc:  "random-waypoint mobility over the geometric model; the scenario topology contributes only its node count and source",
+			Params: []ParamDoc{
+				{Name: "epoch-len", Type: "int", Default: 8, Doc: "rounds per epoch"},
+				{Name: "leg-epochs", Type: "int", Default: 4, Doc: "epochs per waypoint-to-waypoint leg (larger = slower motion)"},
+				{Name: "r-reliable", Type: "float", Default: 0.28, Doc: "links shorter than this are reliable"},
+				{Name: "r-unreliable", Type: "float", Default: 0.7, Doc: "links shorter than this (but beyond r-reliable) are unreliable"},
+			},
+		},
+		build: func(e Entry, base *graph.Dual, p Params) (graph.Schedule, error) {
+			epochLen, err := getInt(p, mustDoc(e, "epoch-len"))
+			if err != nil {
+				return nil, err
+			}
+			legEpochs, err := getInt(p, mustDoc(e, "leg-epochs"))
+			if err != nil {
+				return nil, err
+			}
+			rr, err := getFloat(p, mustDoc(e, "r-reliable"))
+			if err != nil {
+				return nil, err
+			}
+			ru, err := getFloat(p, mustDoc(e, "r-unreliable"))
+			if err != nil {
+				return nil, err
+			}
+			return graph.NewWaypoint(base, epochLen, legEpochs, rr, ru)
+		},
+	},
+}
+
 // mustDoc fetches a ParamDoc that registration guarantees exists; a miss is
 // a registry table bug, not a user error.
 func mustDoc(e Entry, name string) ParamDoc {
@@ -364,6 +462,11 @@ func Algorithms() []Entry {
 // Adversaries returns every registered adversary entry, sorted by name.
 func Adversaries() []Entry {
 	return entries(adversaries, func(e *advEntry) Entry { return e.Entry })
+}
+
+// Schedules returns every registered epoch-schedule entry, sorted by name.
+func Schedules() []Entry {
+	return entries(schedules, func(e *schedEntry) Entry { return e.Entry })
 }
 
 // Topology builds the named dual-graph topology at size n. seed feeds the
@@ -406,6 +509,21 @@ func Adversary(name string, p Params) (sim.Adversary, error) {
 	return e.build(e.Entry, p)
 }
 
+// Schedule builds the named epoch schedule over an already-built base
+// network. Like every registry constructor it is deterministic: the
+// schedule's own randomness is derived at run time from each trial's seed,
+// so the same (name, base, params) always yields the same dynamics law.
+func Schedule(name string, base *graph.Dual, p Params) (graph.Schedule, error) {
+	e, ok := schedules[name]
+	if !ok {
+		return nil, unknownName("schedule", name, names(Schedules()))
+	}
+	if err := e.check(p); err != nil {
+		return nil, fmt.Errorf("schedule %w", err)
+	}
+	return e.build(e.Entry, base, p)
+}
+
 // ValidateTopology checks that name resolves and p matches its schema
 // without building anything (n-independent validation for the Spec layer).
 func ValidateTopology(name string, p Params) error {
@@ -443,6 +561,18 @@ func ValidateAdversary(name string, p Params) error {
 	return nil
 }
 
+// ValidateSchedule checks that name resolves and p matches its schema.
+func ValidateSchedule(name string, p Params) error {
+	e, ok := schedules[name]
+	if !ok {
+		return unknownName("schedule", name, names(Schedules()))
+	}
+	if err := e.check(p); err != nil {
+		return fmt.Errorf("schedule %w", err)
+	}
+	return nil
+}
+
 // TopologyInfo returns the entry header of the named topology.
 func TopologyInfo(name string) (Entry, bool) {
 	e, ok := topologies[name]
@@ -464,6 +594,15 @@ func AlgorithmInfo(name string) (Entry, bool) {
 // AdversaryInfo returns the entry header of the named adversary.
 func AdversaryInfo(name string) (Entry, bool) {
 	e, ok := adversaries[name]
+	if !ok {
+		return Entry{}, false
+	}
+	return e.Entry, true
+}
+
+// ScheduleInfo returns the entry header of the named epoch schedule.
+func ScheduleInfo(name string) (Entry, bool) {
+	e, ok := schedules[name]
 	if !ok {
 		return Entry{}, false
 	}

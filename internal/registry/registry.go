@@ -1,10 +1,11 @@
 // Package registry is the single name→constructor table of the library:
-// every topology generator, broadcast algorithm, and adversary is registered
-// here under a stable name with a self-describing parameter schema. The
-// declarative Scenario/Sweep layer (internal/spec), both CLIs, and the
-// experiment harness all resolve names through this package, so a name that
-// works in one place works everywhere — and an unknown name fails everywhere
-// with the same typed error listing the valid names.
+// every topology generator, broadcast algorithm, adversary, and epoch
+// schedule (the topology-dynamics layer) is registered here under a stable
+// name with a self-describing parameter schema. The declarative
+// Scenario/Sweep layer (internal/spec), both CLIs, and the experiment
+// harness all resolve names through this package, so a name that works in
+// one place works everywhere — and an unknown name fails everywhere with
+// the same typed error listing the valid names.
 //
 // Construction is deterministic: a registered constructor derives all its
 // randomness from the seed it is handed, never from global state, so the
@@ -65,7 +66,7 @@ func (e Entry) AcceptsParam(name string) bool {
 // (a bare `unknown topology "x"` with no hint of what would have worked)
 // cannot recur.
 type ErrUnknownName struct {
-	// Kind is "topology", "algorithm", or "adversary".
+	// Kind is "topology", "algorithm", "adversary", or "schedule".
 	Kind string
 	// Name is the name that failed to resolve.
 	Name string
@@ -276,19 +277,11 @@ func names(es []Entry) []string {
 	return out
 }
 
-// WriteList renders every registry — topologies, algorithms, adversaries —
-// with per-entry parameter docs. Both CLIs' -list flags print exactly this,
-// so the output is golden-tested once and shared.
+// WriteList renders every registry — topologies, algorithms, adversaries,
+// schedules — with per-entry parameter docs. Both CLIs' -list flags print
+// exactly this, so the output is golden-tested once and shared.
 func WriteList(w io.Writer) {
-	sections := []struct {
-		kind    string
-		entries []Entry
-	}{
-		{"topologies", Topologies()},
-		{"algorithms", Algorithms()},
-		{"adversaries", Adversaries()},
-	}
-	for i, s := range sections {
+	for i, s := range sections() {
 		if i > 0 {
 			fmt.Fprintln(w)
 		}
@@ -303,5 +296,21 @@ func WriteList(w io.Writer) {
 				fmt.Fprintf(w, "      %-16s %-6s %s%s\n", d.Name, d.Type, d.Doc, def)
 			}
 		}
+	}
+}
+
+// section is one registry table for the list/markdown renderers.
+type section struct {
+	kind    string
+	entries []Entry
+}
+
+// sections returns the four registry tables in display order.
+func sections() []section {
+	return []section{
+		{"topologies", Topologies()},
+		{"algorithms", Algorithms()},
+		{"adversaries", Adversaries()},
+		{"schedules", Schedules()},
 	}
 }

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"testing"
+
+	"dualgraph/internal/graph"
+)
+
+// TestEnsureCapacityNoAliasingAcrossSwaps is the epoch-boundary buffer
+// invariant: after swapping to an epoch with larger G' in-degrees the
+// reaching rows must be rebuilt (an old row would overflow its slot in the
+// flat backing array), after which filling every row to its new bound keeps
+// all rows disjoint — no reaching-set aliasing. Swapping to a smaller epoch
+// must keep the existing buffers (the lazy half of the resize).
+func TestEnsureCapacityNoAliasingAcrossSwaps(t *testing.T) {
+	const n = 9
+	small, err := graph.Line(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := graph.Complete(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	buf := newRunBuffers(small)
+	smallCaps := make([]int, n)
+	for v := range smallCaps {
+		smallCaps[v] = cap(buf.reaching[v])
+		if smallCaps[v] >= n {
+			t.Fatalf("line row %d capacity %d already fits the complete graph; test setup broken", v, smallCaps[v])
+		}
+	}
+	// Dirty the buffers like a round would, then reset (the loop resets
+	// before any swap).
+	buf.addReaching(0, 1)
+	buf.addReaching(2, 1)
+	buf.reset()
+
+	// Grow swap: line -> complete. Every row must now hold in-degree+1 = n
+	// senders.
+	buf.ensureCapacity(big)
+	for v := 0; v < n; v++ {
+		if got := cap(buf.reaching[v]); got < n {
+			t.Fatalf("after grow swap, row %d capacity %d < %d", v, got, n)
+		}
+	}
+	// Fill every row to its model bound and verify no row sees another's
+	// writes.
+	for v := 0; v < n; v++ {
+		for s := 0; s < n; s++ {
+			buf.addReaching(graph.NodeID(v), graph.NodeID(v*100+s)) // sentinel value unique per (row, slot)
+		}
+	}
+	for v := 0; v < n; v++ {
+		row := buf.reaching[v]
+		if len(row) != n {
+			t.Fatalf("row %d has %d entries, want %d", v, len(row), n)
+		}
+		for s, got := range row {
+			if want := graph.NodeID(v*100 + s); got != want {
+				t.Fatalf("row %d slot %d = %d, want %d: rows alias after swap", v, s, got, want)
+			}
+		}
+	}
+	buf.reset()
+
+	// Shrink swap: complete -> line. Capacities suffice, so the buffers are
+	// kept as-is (lazy: no rebuild).
+	bigCaps := make([]int, n)
+	for v := range bigCaps {
+		bigCaps[v] = cap(buf.reaching[v])
+	}
+	buf.ensureCapacity(small)
+	for v := 0; v < n; v++ {
+		if cap(buf.reaching[v]) != bigCaps[v] {
+			t.Fatalf("shrink swap rebuilt row %d (cap %d -> %d); resize should be lazy",
+				v, bigCaps[v], cap(buf.reaching[v]))
+		}
+	}
+	if buf.sizedFor != small.GPrime() {
+		t.Fatal("keep path did not record the new G' core")
+	}
+
+	// Shared-G'-core fast path (fade epochs): a dual aliasing the same
+	// frozen G' skips the scan — observable as sizedFor staying put even
+	// though the Dual differs.
+	faded, err := graph.NewDualGraphs(small.G(), small.GPrime(), small.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.ensureCapacity(faded)
+	if buf.sizedFor != small.GPrime() {
+		t.Fatal("shared-core fast path re-sized the buffers")
+	}
+}

@@ -4,6 +4,13 @@
 // out-neighbours, an adversary-chosen subset of unreliable out-neighbours,
 // and the sender itself; receptions are then computed under one of the four
 // collision rules CR1-CR4 with synchronous or asynchronous starts.
+//
+// Runs execute on a fixed network (Run) or on an epoch-scheduled
+// time-varying one (RunDynamic): every graph.Schedule epoch boundary swaps
+// the frozen network under the live processes while algorithm, adversary,
+// and per-node result state survive, and the preallocated delivery buffers
+// resize lazily. Both paths share one loop — Run is RunDynamic over a
+// static schedule — so the static hot path is exactly what it always was.
 package sim
 
 import (
@@ -306,15 +313,17 @@ type runBuffers struct {
 	touched    []graph.NodeID
 	senders    []graph.NodeID
 	newHolders []graph.NodeID
+	// sizedFor is the G' core the rows were last sized against; epochs that
+	// share it (fade never changes G') skip the re-scan entirely.
+	sizedFor *graph.Graph
 }
 
-// newRunBuffers sizes the per-node reaching lists to their model upper
-// bound — a node can be reached by at most its G' in-neighbours plus its own
-// transmission — and carves them out of one flat backing array (CSR-style),
-// so the round loop never grows a row no matter the traffic pattern. (A
-// misbehaving adversary delivering the same arc twice in a round merely
-// falls back to an ordinary slice grow.)
-func newRunBuffers(d *graph.Dual) *runBuffers {
+// reachingBound returns the per-node row-sizing model of the delivery
+// buffers: a node can be reached by at most its G' in-neighbours plus its
+// own transmission, so row v must hold reachingBound(d)[v]+1 senders. Both
+// newRunBuffers and ensureCapacity size against exactly this function, so
+// the initial carve and the epoch-swap overflow check can never disagree.
+func reachingBound(d *graph.Dual) []int32 {
 	n := d.N()
 	gp := d.GPrime()
 	indeg := make([]int32, n)
@@ -323,6 +332,17 @@ func newRunBuffers(d *graph.Dual) *runBuffers {
 			indeg[v]++
 		}
 	}
+	return indeg
+}
+
+// newRunBuffers sizes the per-node reaching lists to their model upper
+// bound (reachingBound) and carves them out of one flat backing array
+// (CSR-style), so the round loop never grows a row no matter the traffic
+// pattern. (A misbehaving adversary delivering the same arc twice in a
+// round merely falls back to an ordinary slice grow.)
+func newRunBuffers(d *graph.Dual) *runBuffers {
+	n := d.N()
+	indeg := reachingBound(d)
 	total := 0
 	for _, c := range indeg {
 		total += int(c) + 1
@@ -341,7 +361,31 @@ func newRunBuffers(d *graph.Dual) *runBuffers {
 		touched:    make([]graph.NodeID, 0, n),
 		senders:    make([]graph.NodeID, 0, n),
 		newHolders: make([]graph.NodeID, 0, n),
+		sizedFor:   d.GPrime(),
 	}
+}
+
+// ensureCapacity adapts the buffers to a new epoch's network at an epoch
+// swap. Reaching rows are carved from one flat backing array sized by G'
+// in-degree+1; when every row of the new network fits in its existing
+// capacity the buffers are kept as they are (the caller resets them at the
+// top of the round), and any row that would overflow rebuilds the whole
+// buffer set against the new network — the lazy resize that guarantees
+// reaching rows never alias across epochs while epochs with shrinking or
+// stable in-degrees pay nothing.
+func (b *runBuffers) ensureCapacity(d *graph.Dual) {
+	if d.GPrime() == b.sizedFor {
+		// Same frozen G' core, same in-degree bound: nothing to scan.
+		return
+	}
+	indeg := reachingBound(d)
+	for v := 0; v < d.N(); v++ {
+		if int(indeg[v])+1 > cap(b.reaching[v]) {
+			*b = *newRunBuffers(d)
+			return
+		}
+	}
+	b.sizedFor = d.GPrime()
 }
 
 // reset clears exactly the state the previous round touched.
@@ -433,11 +477,31 @@ var (
 	ErrBadAssignment = errors.New("adversary returned an invalid proc assignment")
 	ErrBadDelivery   = errors.New("adversary delivered along a non-unreliable edge")
 	ErrBadResolve    = errors.New("adversary resolved CR4 to a non-reaching sender")
+	ErrBadEpoch      = errors.New("schedule produced an epoch with a different node count or source")
 )
 
-// Run executes alg against adv on network d under cfg and returns the
-// execution summary.
+// Run executes alg against adv on the fixed network d under cfg and returns
+// the execution summary. It is exactly RunDynamic over a static schedule.
 func Run(d *graph.Dual, alg Algorithm, adv Adversary, cfg Config) (*Result, error) {
+	return RunDynamic(graph.Static(d), alg, adv, cfg)
+}
+
+// RunDynamic executes alg against adv on the time-varying network produced
+// by sched. The run starts on epoch 0; every EpochLength rounds the current
+// Dual is swapped for the next epoch — algorithm and adversary state, the
+// proc assignment (made once against epoch 0), and all per-node result
+// tracking survive the swap, while the adversary's EdgeID universe is the
+// current epoch's (View.Dual always points at it). Epoch materialization
+// derives all randomness from (epoch, cfg.Seed) via the schedule's purity
+// contract, so a run is reproducible from cfg.Seed alone, and the engine's
+// per-trial seed derivation extends bit-identical-at-any-worker-count
+// determinism to dynamic sweeps. A static schedule takes exactly the code
+// path Run always took.
+func RunDynamic(sched graph.Schedule, alg Algorithm, adv Adversary, cfg Config) (*Result, error) {
+	d, err := sched.Epoch(0, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("schedule epoch 0: %w", err)
+	}
 	n := d.N()
 	cfg = cfg.withDefaults(n)
 	baseRng := rand.New(rand.NewSource(cfg.Seed))
@@ -508,10 +572,38 @@ func Run(d *graph.Dual, alg Algorithm, adv Adversary, cfg Config) (*Result, erro
 	// round loop.
 	buffered, _ := adv.(BufferedDeliverer)
 
+	epochLen := sched.EpochLength()
 	holders := 1
 	for round := 1; round <= cfg.MaxRounds; round++ {
 		view.Round = round
 		buf.reset()
+		if epochLen > 0 && round > 1 && (round-1)%epochLen == 0 {
+			// Epoch boundary: swap in the next frozen network. The swap
+			// happens after reset, so the buffers carry no round state; rows
+			// are kept when the new epoch fits and rebuilt when it does not.
+			e := (round - 1) / epochLen
+			nd, err := sched.Epoch(e, cfg.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("schedule epoch %d: %w", e, err)
+			}
+			if nd.N() != n {
+				return nil, fmt.Errorf("%w: epoch %d has %d nodes, run started with %d",
+					ErrBadEpoch, e, nd.N(), n)
+			}
+			if nd.Source() != src {
+				return nil, fmt.Errorf("%w: epoch %d moved the source to %d, run started at %d",
+					ErrBadEpoch, e, nd.Source(), src)
+			}
+			if nd != d {
+				// Identical-pointer epochs (no-op churn/fade draws, cached
+				// epochs, the static wrap) skip the swap entirely, keeping
+				// the round loop allocation-free.
+				d = nd
+				view.Dual = d
+				sink.d = d
+				buf.ensureCapacity(d)
+			}
+		}
 		for i := range sent {
 			sent[i] = false
 		}

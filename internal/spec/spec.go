@@ -22,6 +22,12 @@
 //		spec.WithSeed(1),
 //	)
 //	res, _ := s.Run()
+//
+// Topology dynamics are part of the same vocabulary: WithSchedule (or a
+// "schedule" JSON block, or a Sweep's "schedules" axis) names an epoch
+// schedule from the registry — node churn, link fading, waypoint mobility —
+// and the scenario's runs become time-varying with no other change. The
+// default "static" schedule reproduces fixed-topology behaviour exactly.
 package spec
 
 import (
@@ -79,6 +85,20 @@ type Scenario struct {
 	Seed int64 `json:"seed"`
 	// MaxRounds caps the execution; 0 means the simulator default.
 	MaxRounds int `json:"max_rounds,omitempty"`
+	// Schedule names the epoch schedule driving topology dynamics. The zero
+	// Choice (and the explicit name "static") means the network never
+	// changes, so pre-dynamics JSON files keep their exact meaning — and
+	// marshalling a static scenario emits no schedule block at all
+	// (omitzero), so their serialized form is unchanged too.
+	Schedule Choice `json:"schedule,omitzero"`
+}
+
+// scheduleName resolves the schedule choice's name, defaulting to "static".
+func (s Scenario) scheduleName() string {
+	if s.Schedule.Name == "" {
+		return "static"
+	}
+	return s.Schedule.Name
 }
 
 // Option mutates a Scenario under construction.
@@ -97,6 +117,12 @@ func WithAlgorithm(name string, p registry.Params) Option {
 // WithAdversary selects the named adversary; p may be nil for defaults.
 func WithAdversary(name string, p registry.Params) Option {
 	return func(s *Scenario) { s.Adversary = Choice{Name: name, Params: p} }
+}
+
+// WithSchedule selects the named epoch schedule (topology dynamics); p may
+// be nil for defaults. "static" restores the fixed-topology behaviour.
+func WithSchedule(name string, p registry.Params) Option {
+	return func(s *Scenario) { s.Schedule = Choice{Name: name, Params: p} }
 }
 
 // WithN sets the requested network size.
@@ -119,6 +145,9 @@ func WithMaxRounds(m int) Option { return func(s *Scenario) { s.MaxRounds = m } 
 // network under CR4/async, seed 1) — the same defaults cmd/dgsim has always
 // used.
 func Default() Scenario {
+	// Schedule stays the zero Choice — static — so default scenarios
+	// marshal without a schedule block, exactly like before the dynamics
+	// layer existed.
 	return Scenario{
 		Topology:  Choice{Name: "clique-bridge"},
 		Algorithm: Choice{Name: "harmonic"},
@@ -156,6 +185,9 @@ func (s Scenario) Validate() error {
 	if err := registry.ValidateAdversary(s.Adversary.Name, s.Adversary.Params); err != nil {
 		return err
 	}
+	if err := registry.ValidateSchedule(s.scheduleName(), s.Schedule.Params); err != nil {
+		return err
+	}
 	if s.N < 1 {
 		return fmt.Errorf("scenario: n must be >= 1, got %d", s.N)
 	}
@@ -171,10 +203,16 @@ func (s Scenario) Validate() error {
 	return nil
 }
 
-// Label renders the scenario as a compact single-line identifier.
+// Label renders the scenario as a compact single-line identifier. The
+// schedule appears only when dynamic, so static labels (the only kind that
+// existed before the dynamics layer) are unchanged.
 func (s Scenario) Label() string {
-	return fmt.Sprintf("topo=%s n=%d alg=%s adv=%s rule=%v start=%v seed=%d",
+	l := fmt.Sprintf("topo=%s n=%d alg=%s adv=%s rule=%v start=%v seed=%d",
 		s.Topology.label(), s.N, s.Algorithm.label(), s.Adversary.label(), s.Rule, s.Start, s.Seed)
+	if name := s.scheduleName(); name != "static" {
+		l += " sched=" + s.Schedule.label()
+	}
+	return l
 }
 
 // Built is a materialized Scenario: the constructed network, algorithm,
@@ -190,6 +228,9 @@ type Built struct {
 	Alg sim.Algorithm
 	// Adv is the adversary.
 	Adv sim.Adversary
+	// Sched is the epoch schedule built over Net; a static scenario gets
+	// graph.Static(Net), so Run paths are uniformly dynamic.
+	Sched graph.Schedule
 	// Cfg is the run configuration (callers may adjust, e.g. MaxRounds,
 	// before running).
 	Cfg sim.Config
@@ -212,11 +253,16 @@ func (s Scenario) Build() (*Built, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
+	sched, err := registry.Schedule(s.scheduleName(), net, s.Schedule.Params)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
 	return &Built{
 		Scenario: s,
 		Net:      net,
 		Alg:      alg,
 		Adv:      adv,
+		Sched:    sched,
 		Cfg: sim.Config{
 			Rule:      s.Rule,
 			Start:     s.Start,
@@ -226,20 +272,32 @@ func (s Scenario) Build() (*Built, error) {
 	}, nil
 }
 
-// Run executes the built scenario once.
+// schedule resolves the run schedule: the built one when set, else the
+// static wrap of Net — so a hand-constructed Built (every field is
+// exported) keeps the historical fixed-network behaviour.
+func (b *Built) schedule() graph.Schedule {
+	if b.Sched != nil {
+		return b.Sched
+	}
+	return graph.Static(b.Net)
+}
+
+// Run executes the built scenario once: dynamically when a schedule is set,
+// which for the static schedule is exactly the fixed-network run.
 func (b *Built) Run() (*sim.Result, error) {
-	return sim.Run(b.Net, b.Alg, b.Adv, b.Cfg)
+	return sim.RunDynamic(b.schedule(), b.Alg, b.Adv, b.Cfg)
 }
 
 // RunMany fans trials independent runs over the engine (see engine.RunMany
-// for the seed-derivation and determinism contract).
+// for the seed-derivation and determinism contract, which dynamic scenarios
+// inherit via engine.RunManySchedule).
 func (b *Built) RunMany(trials int, ec engine.Config) ([]*sim.Result, error) {
-	return engine.RunMany(b.Net, b.Alg, b.Adv, b.Cfg, trials, ec)
+	return engine.RunManySchedule(b.schedule(), b.Alg, b.Adv, b.Cfg, trials, ec)
 }
 
 // RunStream is the memory-bounded sweep (see engine.RunStream).
 func (b *Built) RunStream(trials int, ec engine.Config, sc engine.StreamConfig) (*engine.TrialSummary, error) {
-	return engine.RunStream(b.Net, b.Alg, b.Adv, b.Cfg, trials, ec, sc)
+	return engine.RunStreamSchedule(b.schedule(), b.Alg, b.Adv, b.Cfg, trials, ec, sc)
 }
 
 // Run builds the scenario and executes it once.

@@ -13,8 +13,9 @@ import (
 // Sweep is a declarative Cartesian grid: a base Scenario plus per-axis value
 // lists. Every listed axis replaces the base's value in the product; an
 // omitted axis contributes the base's single value. Cells are enumerated in
-// a fixed nested order — topology, algorithm, adversary, n, rule, seed, with
-// the last axis innermost — so cell indices and labels are stable.
+// a fixed nested order — topology, algorithm, adversary, schedule, n, rule,
+// seed, with the last axis innermost — so cell indices and labels are
+// stable.
 type Sweep struct {
 	// Base supplies the value of every axis the sweep does not list, and
 	// the non-axis fields (start rule, max rounds).
@@ -25,6 +26,9 @@ type Sweep struct {
 	Algorithms []Choice `json:"algorithms,omitempty"`
 	// Adversaries is the adversary axis.
 	Adversaries []Choice `json:"adversaries,omitempty"`
+	// Schedules is the epoch-schedule axis (topology dynamics): sweep churn
+	// rates, fade probabilities, or mobility speeds like any other axis.
+	Schedules []Choice `json:"schedules,omitempty"`
 	// Ns is the network-size axis.
 	Ns []int `json:"ns,omitempty"`
 	// Rules is the collision-rule axis.
@@ -101,6 +105,9 @@ func (sw Sweep) Cells() ([]Cell, error) {
 		{len(sw.Adversaries),
 			func(s *Scenario, i int) { s.Adversary = sw.Adversaries[i] },
 			func(s Scenario) string { return "adv=" + s.Adversary.label() }},
+		{len(sw.Schedules),
+			func(s *Scenario, i int) { s.Schedule = sw.Schedules[i] },
+			func(s Scenario) string { return "sched=" + s.Schedule.label() }},
 		{len(sw.Ns),
 			func(s *Scenario, i int) { s.N = sw.Ns[i] },
 			func(s Scenario) string { return fmt.Sprintf("n=%d", s.N) }},
@@ -215,7 +222,7 @@ func (sw Sweep) Run(ec engine.Config, sc engine.StreamConfig) (*GridResult, erro
 		if err != nil {
 			return engine.Trial{}, fmt.Errorf("cell %s: %w", cells[i].Label, err)
 		}
-		return engine.Trial{Net: b.Net, Alg: b.Alg, Adv: b.Adv, Cfg: b.Cfg}, nil
+		return engine.Trial{Net: b.Net, Sched: b.Sched, Alg: b.Alg, Adv: b.Adv, Cfg: b.Cfg}, nil
 	})
 	if err != nil {
 		return nil, err

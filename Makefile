@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check staticcheck test test-short race bench-smoke bench-json docs-registry docs-check ci
+.PHONY: all build vet fmt-check staticcheck test test-short race serve-smoke bench-smoke bench-json docs-registry docs-check ci
 
 all: build
 
@@ -38,11 +38,19 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-# Race job scoped to the concurrent core: the trial engine and the simulator
-# it drives. -short skips the single-threaded 100k-node stress sim, which the
-# race instrumentation would slow ~10x without exercising any concurrency.
+# Race job scoped to the concurrent core: the trial engine, the simulator it
+# drives, and the job service that multiplexes HTTP clients onto the engine.
+# -short skips the single-threaded 100k-node stress sim, which the race
+# instrumentation would slow ~10x without exercising any concurrency, and
+# shrinks the service's slow-job fixtures.
 race:
-	$(GO) test -race -short ./internal/engine/... ./internal/sim/...
+	$(GO) test -race -short ./internal/engine/... ./internal/sim/... ./internal/service/...
+
+# End-to-end smoke of the dgsimd daemon binary: build it, start it on a free
+# port, submit a sweep and stream its results over HTTP, cancel a running
+# job, then SIGTERM and assert a graceful drain with exit code 0.
+serve-smoke:
+	$(GO) test -run TestServeSmoke -count=1 -v ./cmd/dgsimd/
 
 # A fast benchmark pass: the engine speedup pair and the allocation-free
 # round loop, a few iterations each.
@@ -84,4 +92,4 @@ docs-check: docs-registry
 	@git diff --exit-code docs/REGISTRY.md || \
 		{ echo "docs/REGISTRY.md drifted from the registry tables; commit the regenerated file"; exit 1; }
 
-ci: build vet fmt-check staticcheck docs-check test race
+ci: build vet fmt-check staticcheck docs-check test race serve-smoke

@@ -26,21 +26,29 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"math"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"dualgraph"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM cancel the run context: the engine stops at the next
+	// shard boundary, every already-printed -spec cell line stays valid, and
+	// the error path below reports how much of the grid completed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		stop()
 		printError(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -59,7 +67,7 @@ func printError(w io.Writer, err error) {
 	}
 }
 
-func run(args []string, w io.Writer) error {
+func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("dgsim", flag.ContinueOnError)
 	var (
 		topo      = fs.String("topo", "clique-bridge", "topology name (see -list)")
@@ -117,7 +125,7 @@ func run(args []string, w io.Writer) error {
 		if conflict != "" {
 			return fmt.Errorf("-spec runs a self-contained sweep file; drop -%s", conflict)
 		}
-		return runSpec(w, *specPath, *workers)
+		return runSpec(ctx, w, *specPath, *workers)
 	}
 
 	if startRule(*start) == 0 {
@@ -161,13 +169,13 @@ func run(args []string, w io.Writer) error {
 			*trials, streamSuffix(*stream))
 	}
 	if *stream {
-		return runStream(w, built, *topo, schedSuffix(*sched), *rule, *start, *seed, *trials, *workers)
+		return runStream(ctx, w, built, *topo, schedSuffix(*sched), *rule, *start, *seed, *trials, *workers)
 	}
 	if *trials > 1 {
-		return runMany(w, built, *topo, schedSuffix(*sched), *rule, *start, *seed, *trials, *workers)
+		return runMany(ctx, w, built, *topo, schedSuffix(*sched), *rule, *start, *seed, *trials, *workers)
 	}
 
-	res, err := built.Run()
+	res, err := built.RunContext(ctx)
 	if err != nil {
 		return err
 	}
@@ -233,8 +241,10 @@ func schedSuffix(sched string) string {
 
 // runSpec executes a declarative sweep file: every cell of the Cartesian
 // grid runs Trials times on the shared worker pool, and one aggregate line
-// prints per cell. The whole output is bit-identical at any -workers value.
-func runSpec(w io.Writer, path string, workers int) error {
+// prints per cell — streamed in cell order as cells complete, so an
+// interrupted run leaves a valid prefix of the full output. The whole
+// output is bit-identical at any -workers value.
+func runSpec(ctx context.Context, w io.Writer, path string, workers int) error {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -243,34 +253,29 @@ func runSpec(w io.Writer, path string, workers int) error {
 	if err := json.Unmarshal(blob, &sw); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
-	grid, err := sw.Run(dualgraph.EngineConfig{Workers: workers}, dualgraph.StreamConfig{})
+	cells, err := sw.Cells()
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "grid: cells=%d trials-per-cell=%d\n", len(grid.Cells), grid.Trials)
-	for _, cr := range grid.Cells {
-		fmt.Fprintf(w, "%s: %s\n", cr.Cell.Label, summaryLine(cr.Summary))
+	trials := sw.Trials
+	if trials == 0 {
+		trials = 1
+	}
+	fmt.Fprintf(w, "grid: cells=%d trials-per-cell=%d\n", len(cells), trials)
+	printed := 0
+	_, err = sw.Stream(ctx, dualgraph.EngineConfig{Workers: workers}, dualgraph.StreamConfig{},
+		func(cr dualgraph.CellResult) {
+			fmt.Fprintf(w, "%s: %s\n", cr.Cell.Label, dualgraph.FormatSummary(cr.Summary))
+			printed++
+		})
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("interrupted after %d/%d cells (partial results above are final for their cells): %w",
+				printed, len(cells), err)
+		}
+		return err
 	}
 	return nil
-}
-
-// summaryLine renders one streamed aggregate in the -stream format.
-func summaryLine(sum *dualgraph.TrialSummary) string {
-	stat := func(f func() (float64, error)) float64 {
-		v, err := f()
-		if err != nil {
-			return math.NaN()
-		}
-		return v
-	}
-	return fmt.Sprintf("completed=%d/%d rounds: min=%.0f mean=%.2f p50=%.2f p90=%.2f p95=%.2f p99=%.2f max=%.0f mean-transmissions=%.1f",
-		sum.Completed, sum.Trials,
-		stat(sum.Rounds.Min), stat(sum.Rounds.Mean),
-		stat(func() (float64, error) { return sum.Rounds.Quantile(0.5) }),
-		stat(func() (float64, error) { return sum.Rounds.Quantile(0.9) }),
-		stat(func() (float64, error) { return sum.Rounds.Quantile(0.95) }),
-		stat(func() (float64, error) { return sum.Rounds.Quantile(0.99) }),
-		stat(sum.Rounds.Max), stat(sum.Transmissions.Mean))
 }
 
 // runStream executes a memory-bounded Monte Carlo sweep through the
@@ -278,21 +283,21 @@ func summaryLine(sum *dualgraph.TrialSummary) string {
 // max are exact; mean is exact up to rounding; quantiles are exact while
 // the trial count is within the sketch's exact regime and P² estimates
 // beyond it. Output is identical at any -workers value.
-func runStream(w io.Writer, b *dualgraph.BuiltScenario, topo, sched string, rule int, start string, seed int64, trials, workers int) error {
-	sum, err := b.RunStream(trials, dualgraph.EngineConfig{Workers: workers}, dualgraph.StreamConfig{})
+func runStream(ctx context.Context, w io.Writer, b *dualgraph.BuiltScenario, topo, sched string, rule int, start string, seed int64, trials, workers int) error {
+	sum, err := b.RunStreamContext(ctx, trials, dualgraph.EngineConfig{Workers: workers}, dualgraph.StreamConfig{})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "topology=%s n=%d alg=%s adversary=%s rule=CR%d start=%s seed=%d trials=%d stream=true%s\n",
 		topo, b.Net.N(), b.Alg.Name(), b.Adv.Name(), rule, start, seed, trials, sched)
-	fmt.Fprintf(w, "%s\n", summaryLine(sum))
+	fmt.Fprintf(w, "%s\n", dualgraph.FormatSummary(sum))
 	return nil
 }
 
 // runMany executes a Monte Carlo sweep through the parallel trial engine
 // and prints aggregate round statistics.
-func runMany(w io.Writer, b *dualgraph.BuiltScenario, topo, sched string, rule int, start string, seed int64, trials, workers int) error {
-	results, err := b.RunMany(trials, dualgraph.EngineConfig{Workers: workers})
+func runMany(ctx context.Context, w io.Writer, b *dualgraph.BuiltScenario, topo, sched string, rule int, start string, seed int64, trials, workers int) error {
+	results, err := b.RunManyContext(ctx, trials, dualgraph.EngineConfig{Workers: workers})
 	if err != nil {
 		return err
 	}

@@ -1,19 +1,28 @@
 package main
 
 import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
+
+	"dualgraph"
+	"dualgraph/internal/service"
 )
 
 // runLines invokes the command's run path and returns its output lines.
 func runLines(t *testing.T, args ...string) []string {
 	t.Helper()
 	var sb strings.Builder
-	if err := run(args, &sb); err != nil {
+	if err := run(context.Background(), args, &sb); err != nil {
 		t.Fatalf("run(%v): %v", args, err)
 	}
 	return strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
@@ -88,7 +97,7 @@ func TestUnknownNamesListValidOnes(t *testing.T) {
 	}
 	for _, c := range cases {
 		var sb strings.Builder
-		err := run(c.args, &sb)
+		err := run(context.Background(), c.args, &sb)
 		if err == nil {
 			t.Fatalf("run(%v): expected error", c.args)
 		}
@@ -171,7 +180,7 @@ func TestSpecGridFirstCellMatchesStreamFlagPath(t *testing.T) {
 // per the registry schema rather than a hardcoded name list).
 func TestPRejectedWhenNothingTakesIt(t *testing.T) {
 	var sb strings.Builder
-	err := run([]string{"-alg", "harmonic", "-adv", "greedy", "-p", "0.5"}, &sb)
+	err := run(context.Background(), []string{"-alg", "harmonic", "-adv", "greedy", "-p", "0.5"}, &sb)
 	if err == nil || !strings.Contains(err.Error(), "-p applies") {
 		t.Fatalf("err = %v, want a -p rejection", err)
 	}
@@ -186,7 +195,7 @@ func TestPRejectedWhenNothingTakesIt(t *testing.T) {
 // did-you-mean error even when -p is set (name validation runs first).
 func TestTypoWithPStillSuggests(t *testing.T) {
 	var sb strings.Builder
-	err := run([]string{"-alg", "harmonix", "-p", "0.5"}, &sb)
+	err := run(context.Background(), []string{"-alg", "harmonix", "-p", "0.5"}, &sb)
 	if err == nil || !strings.Contains(err.Error(), `did you mean "harmonic"?`) {
 		t.Fatalf("err = %v, want the suggestion error, not a -p complaint", err)
 	}
@@ -194,7 +203,7 @@ func TestTypoWithPStillSuggests(t *testing.T) {
 
 func TestListRejectsOtherFlags(t *testing.T) {
 	var sb strings.Builder
-	err := run([]string{"-list", "-topo", "line"}, &sb)
+	err := run(context.Background(), []string{"-list", "-topo", "line"}, &sb)
 	if err == nil || !strings.Contains(err.Error(), "-topo") {
 		t.Fatalf("err = %v, want a -topo conflict error", err)
 	}
@@ -202,7 +211,7 @@ func TestListRejectsOtherFlags(t *testing.T) {
 
 func TestSpecRejectsCellFlags(t *testing.T) {
 	var sb strings.Builder
-	err := run([]string{"-spec", "whatever.json", "-topo", "line"}, &sb)
+	err := run(context.Background(), []string{"-spec", "whatever.json", "-topo", "line"}, &sb)
 	if err == nil || !strings.Contains(err.Error(), "-topo") {
 		t.Fatalf("err = %v, want a -topo conflict error", err)
 	}
@@ -238,7 +247,7 @@ func TestVerboseRejectedForSweeps(t *testing.T) {
 		{"-stream", "-v"},
 	} {
 		var sb strings.Builder
-		err := run(args, &sb)
+		err := run(context.Background(), args, &sb)
 		if err == nil || !strings.Contains(err.Error(), "-v") {
 			t.Errorf("run(%v) error = %v, want a -v incompatibility error", args, err)
 		}
@@ -328,7 +337,7 @@ func TestSchedFlagDynamicGolden(t *testing.T) {
 // suggestion error as the other three registries.
 func TestSchedUnknownSuggests(t *testing.T) {
 	var sb strings.Builder
-	err := run([]string{"-sched", "statc"}, &sb)
+	err := run(context.Background(), []string{"-sched", "statc"}, &sb)
 	if err == nil || !strings.Contains(err.Error(), `did you mean "static"?`) {
 		t.Fatalf("err = %v, want the static suggestion", err)
 	}
@@ -358,7 +367,7 @@ func TestErrorPrintsSuggestionsToStderr(t *testing.T) {
 	}
 	for _, c := range cases {
 		var out, stderr strings.Builder
-		err := run(c.args, &out)
+		err := run(context.Background(), c.args, &out)
 		if err == nil {
 			t.Fatalf("run(%v): expected error", c.args)
 		}
@@ -399,5 +408,97 @@ func TestStreamSweepBoundedMemory(t *testing.T) {
 	const limit = 8 << 20
 	if grew := int64(after.HeapAlloc) - int64(before.HeapAlloc); grew > limit {
 		t.Fatalf("live heap grew %d bytes across a 100k-trial streamed sweep (limit %d): O(trials) retention", grew, limit)
+	}
+}
+
+// TestSpecOutputMatchesServiceHTTP is the cross-surface determinism gate:
+// the per-cell lines `dgsim -spec` prints and the per-cell results the
+// dgsimd HTTP API streams for the same sweep document must be byte-identical
+// at every worker count — one shared renderer, one shared engine, one
+// answer.
+func TestSpecOutputMatchesServiceHTTP(t *testing.T) {
+	const blob = `{
+		"base": {"seed": 3},
+		"algorithms": [{"name": "harmonic"}, {"name": "round-robin"}],
+		"ns": [9, 13],
+		"trials": 6
+	}`
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		cliLines := runLines(t, "-spec", path, "-workers", fmt.Sprint(workers))[1:] // drop the grid header
+
+		svc := service.New(service.Config{Engine: dualgraph.EngineConfig{Workers: workers}})
+		ts := httptest.NewServer(svc.Handler())
+
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+			strings.NewReader(`{"sweep":`+blob+`}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			ID string `json:"id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+
+		stream, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/results")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var httpLines []string
+		sc := bufio.NewScanner(stream.Body)
+		for sc.Scan() {
+			var line struct {
+				Done    bool   `json:"done"`
+				Label   string `json:"label"`
+				Summary string `json:"summary"`
+			}
+			if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+				t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+			}
+			if line.Done {
+				break
+			}
+			httpLines = append(httpLines, line.Label+": "+line.Summary)
+		}
+		stream.Body.Close()
+		ts.Close()
+		svc.Close()
+
+		if len(httpLines) != len(cliLines) {
+			t.Fatalf("workers=%d: HTTP streamed %d cells, CLI printed %d", workers, len(httpLines), len(cliLines))
+		}
+		for i := range cliLines {
+			if httpLines[i] != cliLines[i] {
+				t.Fatalf("workers=%d cell %d:\n  http: %q\n  cli:  %q", workers, i, httpLines[i], cliLines[i])
+			}
+		}
+	}
+}
+
+// TestSpecInterruptedPrintsPartialNotice: a cancelled -spec run must fail
+// with a notice saying how much of the grid the partial output covers, and
+// every line it did print must be a valid prefix of the full run's output.
+func TestSpecInterruptedPrintsPartialNotice(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	blob := `{"base": {"n": 9}, "seeds": [1, 2, 3], "trials": 4}`
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // interrupt before any cell completes
+	var sb strings.Builder
+	err := run(ctx, []string{"-spec", path}, &sb)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want a context.Canceled chain", err)
+	}
+	if !strings.Contains(err.Error(), "interrupted after 0/3 cells") {
+		t.Fatalf("err = %q, want the partial-results notice", err)
 	}
 }

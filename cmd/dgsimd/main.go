@@ -1,0 +1,104 @@
+// Command dgsimd is the long-running sweep service: it accepts declarative
+// spec.Sweep jobs over a versioned HTTP API, executes them one at a time on
+// one shared deterministic worker pool, and streams per-cell summary lines
+// back as cells complete — byte-identical to what `dgsim -spec` prints for
+// the same sweep file.
+//
+//	dgsimd -addr :8080 -workers 8
+//
+//	# submit a job (absent versions read as v1)
+//	curl -s localhost:8080/v1/jobs -d '{"sweep":{"base":{"n":17},"seeds":[1,2,3],"trials":1000}}'
+//	# follow its results as they complete (JSON lines; add
+//	# -H 'Accept: text/event-stream' for SSE)
+//	curl -sN localhost:8080/v1/jobs/job-000001/results
+//	# status / listing / cancel
+//	curl -s localhost:8080/v1/jobs/job-000001
+//	curl -s localhost:8080/v1/jobs
+//	curl -s -X DELETE localhost:8080/v1/jobs/job-000001
+//
+// SIGTERM (or SIGINT) drains gracefully: admission stops, queued jobs are
+// cancelled, the running job stops at the next shard boundary with every
+// completed cell already streamed, and the process exits 0 once the pool
+// and all open result streams have wound down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dualgraph/internal/engine"
+	"dualgraph/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("dgsimd: %v", err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dgsimd", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		workers    = fs.Int("workers", 0, "shared trial pool size (0 = one per CPU); never changes results, only throughput")
+		queue      = fs.Int("queue", 64, "max queued jobs before submissions get 429")
+		drainGrace = fs.Duration("drain-grace", time.Minute, "max time to wait for the running shard and open streams on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger := log.New(os.Stderr, "dgsimd: ", log.LstdFlags)
+	svc := service.New(service.Config{
+		Engine:     engine.Config{Workers: *workers},
+		QueueLimit: *queue,
+	})
+	hs := &http.Server{Handler: svc.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address line is the startup handshake: scripts (and the
+	// serve-smoke test) parse it to find the port when -addr ends in :0.
+	logger.Printf("listening on %s", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		svc.Close()
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	logger.Printf("signal received; draining (grace %v)", *drainGrace)
+	graceCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	if err := svc.Drain(graceCtx); err != nil {
+		logger.Printf("drain incomplete: %v", err)
+	}
+	// Shutdown after Drain: jobs are terminal by now, so open result
+	// streams have flushed their done lines and Shutdown returns once the
+	// last response closes.
+	if err := hs.Shutdown(graceCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("shutdown: %v", err)
+	}
+	logger.Printf("drained, exiting")
+	return nil
+}

@@ -44,6 +44,7 @@
 package dualgraph
 
 import (
+	"context"
 	"math/rand"
 
 	"dualgraph/internal/adversary"
@@ -153,6 +154,15 @@ func RunMany(net *Network, alg Algorithm, adv Adversary, cfg Config, trials int,
 	return engine.RunMany(net, alg, adv, cfg, trials, ec)
 }
 
+// RunManyContext is RunMany with cooperative cancellation: the sweep stops
+// at the next work-batch boundary once ctx is done and returns an error
+// satisfying errors.Is(err, ctx.Err()). Results are only returned for runs
+// that finish uncancelled; determinism is unaffected (a completed call is
+// bit-identical to RunMany).
+func RunManyContext(ctx context.Context, net *Network, alg Algorithm, adv Adversary, cfg Config, trials int, ec EngineConfig) ([]*Result, error) {
+	return engine.RunManyContext(ctx, net, alg, adv, cfg, trials, ec)
+}
+
 // Streaming trial aggregation (memory-bounded sweeps).
 type (
 	// Stream is an online, mergeable summary statistic accumulator:
@@ -206,10 +216,23 @@ func RunManySchedule(sched EpochSchedule, alg Algorithm, adv Adversary, cfg Conf
 	return engine.RunManySchedule(sched, alg, adv, cfg, trials, ec)
 }
 
+// RunManyScheduleContext is RunManySchedule with cooperative cancellation
+// (see RunManyContext for the contract).
+func RunManyScheduleContext(ctx context.Context, sched EpochSchedule, alg Algorithm, adv Adversary, cfg Config, trials int, ec EngineConfig) ([]*Result, error) {
+	return engine.RunManyScheduleContext(ctx, sched, alg, adv, cfg, trials, ec)
+}
+
 // RunStreamSchedule is RunStream over a dynamic network (memory-bounded
 // dynamic sweeps, same determinism contract as RunManySchedule).
 func RunStreamSchedule(sched EpochSchedule, alg Algorithm, adv Adversary, cfg Config, trials int, ec EngineConfig, sc StreamConfig) (*TrialSummary, error) {
 	return engine.RunStreamSchedule(sched, alg, adv, cfg, trials, ec, sc)
+}
+
+// RunStreamScheduleContext is RunStreamSchedule with cooperative
+// cancellation: the reduction stops at the next shard boundary once ctx is
+// done (see RunManyContext for the error contract).
+func RunStreamScheduleContext(ctx context.Context, sched EpochSchedule, alg Algorithm, adv Adversary, cfg Config, trials int, ec EngineConfig, sc StreamConfig) (*TrialSummary, error) {
+	return engine.RunStreamScheduleContext(ctx, sched, alg, adv, cfg, trials, ec, sc)
 }
 
 // Epoch-schedule constructors (the registry equivalents are
@@ -235,6 +258,13 @@ var (
 // count exceeds StreamConfig.ExactK (P² estimates beyond).
 func RunStream(net *Network, alg Algorithm, adv Adversary, cfg Config, trials int, ec EngineConfig, sc StreamConfig) (*TrialSummary, error) {
 	return engine.RunStream(net, alg, adv, cfg, trials, ec, sc)
+}
+
+// RunStreamContext is RunStream with cooperative cancellation: the
+// reduction stops at the next shard boundary once ctx is done (see
+// RunManyContext for the error contract).
+func RunStreamContext(ctx context.Context, net *Network, alg Algorithm, adv Adversary, cfg Config, trials int, ec EngineConfig, sc StreamConfig) (*TrialSummary, error) {
+	return engine.RunStreamContext(ctx, net, alg, adv, cfg, trials, ec, sc)
 }
 
 // Declarative scenario and sweep layer: name-addressed, JSON-round-trippable
@@ -273,7 +303,25 @@ type (
 	// GridResult is the outcome of Sweep.Run, keyed by cell labels; it is
 	// bit-identical at any worker count.
 	GridResult = spec.GridResult
+	// ErrUnsupportedVersion reports a Scenario/Sweep/job document whose
+	// "version" field names a wire format this build does not speak (an
+	// absent or zero version reads as version 1).
+	ErrUnsupportedVersion = spec.ErrUnsupportedVersion
+	// ErrDuplicateLabel reports a Sweep whose expansion produces two cells
+	// with the same label (duplicate axis values), which would make the
+	// label-keyed results ambiguous.
+	ErrDuplicateLabel = spec.ErrDuplicateLabel
 )
+
+// WireVersion is the spec wire-format version this build reads and writes.
+// Documents with an absent or zero "version" field are read as version 1;
+// anything else is rejected with *ErrUnsupportedVersion.
+const WireVersion = spec.WireVersion
+
+// FormatSummary renders one TrialSummary as the canonical aggregate line
+// shared by `dgsim -stream`, `dgsim -spec`, and the dgsimd results API — the
+// single formatter that makes their outputs byte-comparable.
+var FormatSummary = spec.FormatSummary
 
 // Scenario construction and functional options.
 var (

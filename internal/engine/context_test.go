@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dualgraph/internal/adversary"
+	"dualgraph/internal/core"
+	"dualgraph/internal/graph"
+	"dualgraph/internal/sim"
+)
+
+// testCell builds one small runnable trial cell.
+func testCell(t *testing.T, seed int64) Trial {
+	t.Helper()
+	net, err := graph.CliqueBridge(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := core.NewHarmonicForN(net.N(), 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Trial{
+		Net: net,
+		Alg: alg,
+		Adv: adversary.GreedyCollider{},
+		Cfg: sim.Config{Rule: sim.CR4, Start: sim.AsyncStart, Seed: seed},
+	}
+}
+
+// A pre-cancelled context must stop every entry point before (or at) the
+// first claim boundary and surface context.Canceled through errors.Is.
+func TestContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cell := testCell(t, 1)
+
+	if _, err := MapContext(ctx, 100, Config{Workers: 4}, func(i int) (int, error) { return i, nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MapContext: want context.Canceled, got %v", err)
+	}
+	if _, err := ReduceContext(ctx, 100, Config{Workers: 4},
+		func(i int) (int, error) { return i, nil },
+		func() *int { v := 0; return &v },
+		func(acc *int, _ int, v int) error { *acc += v; return nil },
+		func(dst, src *int) error { *dst += *src; return nil },
+	); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ReduceContext: want context.Canceled, got %v", err)
+	}
+	if _, err := RunManyContext(ctx, cell.Net, cell.Alg, cell.Adv, cell.Cfg, 50, Config{Workers: 4}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunManyContext: want context.Canceled, got %v", err)
+	}
+	if _, err := RunStreamContext(ctx, cell.Net, cell.Alg, cell.Adv, cell.Cfg, 50, Config{Workers: 4}, StreamConfig{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunStreamContext: want context.Canceled, got %v", err)
+	}
+	if _, err := RunGridStreamContext(ctx, []Trial{cell}, 50, Config{Workers: 4}, StreamConfig{}, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunGridStreamContext: want context.Canceled, got %v", err)
+	}
+}
+
+// Cancelling mid-run stops the grid without delivering incomplete cells:
+// every summary handed to onCell must be byte-identical to the same cell's
+// uninterrupted standalone RunStream.
+func TestGridContextCancelDeliversOnlyCompleteCells(t *testing.T) {
+	const trials = 64
+	cells := []Trial{testCell(t, 1), testCell(t, 2), testCell(t, 3), testCell(t, 4)}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	delivered := map[int]*TrialSummary{}
+	n := 0
+	_, err := RunGridStreamContext(ctx, cells, trials, Config{Workers: 2}, StreamConfig{},
+		func(c int, sum *TrialSummary) {
+			mu.Lock()
+			delivered[c] = sum
+			n++
+			if n == 1 {
+				cancel() // cancel after the first completed cell
+			}
+			mu.Unlock()
+		})
+	defer cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if len(delivered) == 0 {
+		t.Fatal("cancel fired from onCell, so at least one cell completed")
+	}
+	if len(delivered) == len(cells) {
+		t.Log("all cells completed before the cancel took effect (tiny grid); delivery-equality still checked")
+	}
+	for c, got := range delivered {
+		want, err := RunStream(cells[c].Net, cells[c].Alg, cells[c].Adv, cells[c].Cfg, trials, Config{Workers: 1}, StreamConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Trials != want.Trials || got.Completed != want.Completed {
+			t.Fatalf("cell %d: delivered summary (%d/%d) differs from standalone (%d/%d)",
+				c, got.Completed, got.Trials, want.Completed, want.Trials)
+		}
+		gm, _ := got.Rounds.Mean()
+		wm, _ := want.Rounds.Mean()
+		if gm != wm {
+			t.Fatalf("cell %d: delivered mean %v != standalone %v", c, gm, wm)
+		}
+	}
+}
+
+// onCell must fire exactly once per cell on an uninterrupted run, and the
+// delivered summaries must be the returned ones.
+func TestGridOnCellDeliversEveryCellOnce(t *testing.T) {
+	cells := []Trial{testCell(t, 1), testCell(t, 2), testCell(t, 3)}
+	var calls [3]atomic.Int32
+	var got [3]*TrialSummary
+	var mu sync.Mutex
+	sums, err := RunGridStreamContext(context.Background(), cells, 10, Config{Workers: 4}, StreamConfig{},
+		func(c int, sum *TrialSummary) {
+			calls[c].Add(1)
+			mu.Lock()
+			got[c] = sum
+			mu.Unlock()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range cells {
+		if n := calls[c].Load(); n != 1 {
+			t.Fatalf("cell %d delivered %d times", c, n)
+		}
+		if got[c] != sums[c] {
+			t.Fatalf("cell %d: onCell summary is not the returned summary", c)
+		}
+	}
+}
+
+// A trial error must still win over cancellation and be reported with the
+// deterministic lowest (cell, trial) key.
+func TestContextErrorPrecedence(t *testing.T) {
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := MapContext(ctx, 8, Config{Workers: 1}, func(i int) (int, error) {
+		if i == 3 {
+			cancel()
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want the trial error to take precedence, got %v", err)
+	}
+}

@@ -12,30 +12,41 @@
 package engine
 
 import (
+	"context"
+
 	"dualgraph/internal/graph"
 	"dualgraph/internal/sim"
 	"dualgraph/internal/stats"
 )
 
-// RunManySchedule executes trials independent dynamic runs of one
+// RunManyScheduleContext executes trials independent dynamic runs of one
 // (schedule, alg, adv, simCfg) combination. Trial i runs with sim seed
-// SeedFor(simCfg.Seed, i); a static schedule makes it exactly RunMany.
-func RunManySchedule(sched graph.Schedule, alg sim.Algorithm, adv sim.Adversary, simCfg sim.Config, trials int, cfg Config) ([]*sim.Result, error) {
-	return Map(trials, cfg, func(i int) (*sim.Result, error) {
+// SeedFor(simCfg.Seed, i); a static schedule makes it exactly
+// RunManyContext. Cancellation follows MapContext's batch-granularity
+// contract.
+func RunManyScheduleContext(ctx context.Context, sched graph.Schedule, alg sim.Algorithm, adv sim.Adversary, simCfg sim.Config, trials int, cfg Config) ([]*sim.Result, error) {
+	return MapContext(ctx, trials, cfg, func(i int) (*sim.Result, error) {
 		c := simCfg
 		c.Seed = SeedFor(simCfg.Seed, i)
 		return sim.RunDynamic(sched, alg, adv, c)
 	})
 }
 
-// RunStreamSchedule is the memory-bounded dynamic sweep: RunStream's exact
-// seed derivation and shard reduction over sim.RunDynamic executions.
-func RunStreamSchedule(sched graph.Schedule, alg sim.Algorithm, adv sim.Adversary, simCfg sim.Config,
+// RunManySchedule is RunManyScheduleContext without cancellation
+// (compatibility entry point).
+func RunManySchedule(sched graph.Schedule, alg sim.Algorithm, adv sim.Adversary, simCfg sim.Config, trials int, cfg Config) ([]*sim.Result, error) {
+	return RunManyScheduleContext(context.Background(), sched, alg, adv, simCfg, trials, cfg)
+}
+
+// RunStreamScheduleContext is the memory-bounded dynamic sweep:
+// RunStream's exact seed derivation and shard reduction over sim.RunDynamic
+// executions, cancellable at shard granularity (see ReduceContext).
+func RunStreamScheduleContext(ctx context.Context, sched graph.Schedule, alg sim.Algorithm, adv sim.Adversary, simCfg sim.Config,
 	trials int, cfg Config, sc StreamConfig) (*TrialSummary, error) {
 	if _, err := stats.NewStream(sc.quantiles(), sc.ExactK); err != nil {
 		return nil, err
 	}
-	return Reduce(trials, cfg,
+	return ReduceContext(ctx, trials, cfg,
 		func(i int) (*sim.Result, error) {
 			c := simCfg
 			c.Seed = SeedFor(simCfg.Seed, i)
@@ -49,6 +60,13 @@ func RunStreamSchedule(sched graph.Schedule, alg sim.Algorithm, adv sim.Adversar
 			return dst.Merge(src)
 		},
 	)
+}
+
+// RunStreamSchedule is RunStreamScheduleContext without cancellation
+// (compatibility entry point).
+func RunStreamSchedule(sched graph.Schedule, alg sim.Algorithm, adv sim.Adversary, simCfg sim.Config,
+	trials int, cfg Config, sc StreamConfig) (*TrialSummary, error) {
+	return RunStreamScheduleContext(context.Background(), sched, alg, adv, simCfg, trials, cfg, sc)
 }
 
 // schedule resolves a trial's schedule: the explicit one when set, else the

@@ -17,6 +17,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -96,13 +97,19 @@ func (te *trialError) get() error {
 	return te.err
 }
 
-// Map runs fn for every trial index 0..n-1 across the worker pool and
-// returns the results in index order. fn must be safe for concurrent
+// MapContext runs fn for every trial index 0..n-1 across the worker pool
+// and returns the results in index order. fn must be safe for concurrent
 // invocation and must derive any randomness from its trial index alone
-// (typically via SeedFor). On error Map returns the error of the
+// (typically via SeedFor). On error MapContext returns the error of the
 // lowest-indexed failing trial (wrapped with that index) and stops claiming
 // new batches; trials already claimed still finish.
-func Map[T any](n int, cfg Config, fn func(trial int) (T, error)) ([]T, error) {
+//
+// Cancelling ctx stops the pool at batch granularity: workers finish the
+// batch they claimed and claim no more, and MapContext returns ctx.Err()
+// (wrapped, so errors.Is(err, context.Canceled) works). A trial error takes
+// precedence over cancellation in the returned error, keeping the reported
+// failure deterministic.
+func MapContext[T any](ctx context.Context, n int, cfg Config, fn func(trial int) (T, error)) ([]T, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("engine: negative trial count %d", n)
 	}
@@ -116,13 +123,24 @@ func Map[T any](n int, cfg Config, fn func(trial int) (T, error)) ([]T, error) {
 	results := make([]T, n)
 	if workers == 1 {
 		// Sequential fast path: no goroutines, no atomics; identical results
-		// by construction.
-		for i := 0; i < n; i++ {
-			r, err := fn(i)
-			if err != nil {
-				return nil, fmt.Errorf("engine: trial %d: %w", i, err)
+		// by construction. Cancellation is checked per batch, mirroring the
+		// granularity of the pooled path.
+		batch := cfg.batch(n, workers)
+		for lo := 0; lo < n; lo += batch {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("engine: %w", err)
 			}
-			results[i] = r
+			hi := lo + batch
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				r, err := fn(i)
+				if err != nil {
+					return nil, fmt.Errorf("engine: trial %d: %w", i, err)
+				}
+				results[i] = r
+			}
 		}
 		return results, nil
 	}
@@ -134,11 +152,17 @@ func Map[T any](n int, cfg Config, fn func(trial int) (T, error)) ([]T, error) {
 		firstEr trialError
 		wg      sync.WaitGroup
 	)
+	done := ctx.Done()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for !failed.Load() {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				lo := int(next.Add(int64(batch))) - batch
 				if lo >= n {
 					return
@@ -163,7 +187,16 @@ func Map[T any](n int, cfg Config, fn func(trial int) (T, error)) ([]T, error) {
 	if err := firstEr.get(); err != nil {
 		return nil, fmt.Errorf("engine: trial %d: %w", firstEr.index, err)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
 	return results, nil
+}
+
+// Map is MapContext without cancellation, kept as the compatibility entry
+// point for callers that predate the context-first API.
+func Map[T any](n int, cfg Config, fn func(trial int) (T, error)) ([]T, error) {
+	return MapContext(context.Background(), n, cfg, fn)
 }
 
 // Trial is one fully specified simulation: a network, an algorithm, an
@@ -179,22 +212,35 @@ type Trial struct {
 	Cfg   sim.Config
 }
 
-// RunTrials executes heterogeneous trials across the pool and returns their
-// results in input order. Each trial uses exactly the seed in its own
+// RunTrialsContext executes heterogeneous trials across the pool and returns
+// their results in input order. Each trial uses exactly the seed in its own
 // sim.Config. Algorithms and adversaries may be shared between trials and
 // must therefore be stateless factories, which all the built-in ones are.
-func RunTrials(trials []Trial, cfg Config) ([]*sim.Result, error) {
-	return Map(len(trials), cfg, func(i int) (*sim.Result, error) {
+// Cancellation follows MapContext's batch-granularity contract.
+func RunTrialsContext(ctx context.Context, trials []Trial, cfg Config) ([]*sim.Result, error) {
+	return MapContext(ctx, len(trials), cfg, func(i int) (*sim.Result, error) {
 		t := trials[i]
 		return sim.RunDynamic(t.schedule(), t.Alg, t.Adv, t.Cfg)
 	})
 }
 
-// RunMany executes trials independent runs of one (net, alg, adv, simCfg)
-// combination. Trial i runs with sim seed SeedFor(simCfg.Seed, i), so a
-// fixed simCfg.Seed yields bit-identical results at any worker count. It is
-// exactly RunManySchedule over a static schedule, mirroring how sim.Run
-// relates to sim.RunDynamic.
+// RunTrials is RunTrialsContext without cancellation (compatibility entry
+// point).
+func RunTrials(trials []Trial, cfg Config) ([]*sim.Result, error) {
+	return RunTrialsContext(context.Background(), trials, cfg)
+}
+
+// RunManyContext executes trials independent runs of one (net, alg, adv,
+// simCfg) combination. Trial i runs with sim seed SeedFor(simCfg.Seed, i),
+// so a fixed simCfg.Seed yields bit-identical results at any worker count.
+// It is exactly RunManyScheduleContext over a static schedule, mirroring how
+// sim.Run relates to sim.RunDynamic.
+func RunManyContext(ctx context.Context, net *graph.Dual, alg sim.Algorithm, adv sim.Adversary, simCfg sim.Config, trials int, cfg Config) ([]*sim.Result, error) {
+	return RunManyScheduleContext(ctx, graph.Static(net), alg, adv, simCfg, trials, cfg)
+}
+
+// RunMany is RunManyContext without cancellation (compatibility entry
+// point).
 func RunMany(net *graph.Dual, alg sim.Algorithm, adv sim.Adversary, simCfg sim.Config, trials int, cfg Config) ([]*sim.Result, error) {
-	return RunManySchedule(graph.Static(net), alg, adv, simCfg, trials, cfg)
+	return RunManyContext(context.Background(), net, alg, adv, simCfg, trials, cfg)
 }

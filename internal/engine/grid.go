@@ -6,6 +6,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -14,14 +15,14 @@ import (
 	"dualgraph/internal/stats"
 )
 
-// RunGridStream executes trials independent runs of every cell, folding each
-// cell's results into its own streaming TrialSummary, and returns the
-// summaries indexed like cells. Cell c's trial i runs with sim seed
-// SeedFor(cells[c].Cfg.Seed, i) — exactly the derivation RunStream applies
-// to a single cell — and each cell's shard accumulators are built over the
-// same shard partition and merged in the same shard order, so every
-// returned summary is bit-identical to RunStream of that cell alone, at any
-// worker count of either call.
+// RunGridStreamContext executes trials independent runs of every cell,
+// folding each cell's results into its own streaming TrialSummary, and
+// returns the summaries indexed like cells. Cell c's trial i runs with sim
+// seed SeedFor(cells[c].Cfg.Seed, i) — exactly the derivation RunStream
+// applies to a single cell — and each cell's shard accumulators are built
+// over the same shard partition and merged in the same shard order, so
+// every returned summary is bit-identical to RunStream of that cell alone,
+// at any worker count of either call.
 //
 // Cells with a Sched run dynamically (sim.RunDynamic) under the same
 // derivation — epoch randomness is a pure function of each trial's seed —
@@ -32,7 +33,21 @@ import (
 // the pool stays busy whether the grid is wide (many cells) or deep (many
 // trials). On error the lowest (cell, trial) pair in lexicographic order is
 // reported.
-func RunGridStream(cells []Trial, trials int, cfg Config, sc StreamConfig) ([]*TrialSummary, error) {
+//
+// onCell, when non-nil, is invoked once per cell the moment the cell's last
+// shard finishes and its shards have been merged — i.e. while other cells
+// are still running — with the cell index and its final summary. Calls come
+// from worker goroutines, possibly concurrently for different cells and in
+// nondeterministic cell order; each cell's summary value is nevertheless
+// deterministic. Cells that never complete (error or cancellation) get no
+// call, so everything a caller saw through onCell is final and would be
+// byte-identical in an uninterrupted run.
+//
+// Cancelling ctx stops the pool at (cell, shard) granularity: claimed
+// shards finish, nothing new is claimed, and the call returns ctx.Err()
+// (wrapped). Completed cells have already been delivered through onCell.
+func RunGridStreamContext(ctx context.Context, cells []Trial, trials int, cfg Config, sc StreamConfig,
+	onCell func(cell int, sum *TrialSummary)) ([]*TrialSummary, error) {
 	if trials < 0 {
 		return nil, fmt.Errorf("engine: negative trial count %d", trials)
 	}
@@ -46,6 +61,9 @@ func RunGridStream(cells []Trial, trials int, cfg Config, sc StreamConfig) ([]*T
 	if trials == 0 {
 		for c := range summaries {
 			summaries[c] = sc.newSummary()
+			if onCell != nil {
+				onCell(c, summaries[c])
+			}
 		}
 		return summaries, nil
 	}
@@ -53,6 +71,15 @@ func RunGridStream(cells []Trial, trials int, cfg Config, sc StreamConfig) ([]*T
 	shards := Shards(trials)
 	units := len(cells) * shards
 	accs := make([]*TrialSummary, units)
+	// remaining[c] counts the cell's unfinished shards; the worker that
+	// drops it to zero owns the (deterministic, shard-ordered) merge and the
+	// onCell delivery. Failed shards never decrement, so a failing cell is
+	// never delivered.
+	remaining := make([]atomic.Int32, len(cells))
+	for c := range remaining {
+		remaining[c].Store(int32(shards))
+	}
+	var mergeEr trialError
 	workers := cfg.workers()
 	if workers > units {
 		workers = units
@@ -65,8 +92,14 @@ func RunGridStream(cells []Trial, trials int, cfg Config, sc StreamConfig) ([]*T
 	)
 	// One code path at any worker count (same rationale as Reduce): the
 	// sequential case is the same unit walk on a pool of one.
+	done := ctx.Done()
 	work := func() {
 		for !failed.Load() {
+			select {
+			case <-done:
+				return
+			default:
+			}
 			u := int(next.Add(1)) - 1
 			if u >= units {
 				return
@@ -76,6 +109,7 @@ func RunGridStream(cells []Trial, trials int, cfg Config, sc StreamConfig) ([]*T
 			sched := cell.schedule()
 			lo, hi := shardBounds(trials, shards, s)
 			acc := sc.newSummary()
+			shardErr := false
 			for i := lo; i < hi; i++ {
 				simCfg := cell.Cfg
 				simCfg.Seed = SeedFor(cell.Cfg.Seed, i)
@@ -88,10 +122,32 @@ func RunGridStream(cells []Trial, trials int, cfg Config, sc StreamConfig) ([]*T
 					// trial of cell c+1.
 					firstEr.record(c*trials+i, err)
 					failed.Store(true)
+					shardErr = true
 					break
 				}
 			}
+			if shardErr {
+				break
+			}
 			accs[u] = acc
+			if remaining[c].Add(-1) == 0 {
+				// Last shard of the cell: merge in shard-index order — the
+				// same order the post-hoc merge used to run in, so the
+				// summary is byte-identical to the cell's standalone
+				// RunStream — and hand the finished cell to the caller.
+				dst := accs[c*shards]
+				for t := 1; t < shards; t++ {
+					if err := dst.Merge(accs[c*shards+t]); err != nil {
+						mergeEr.record(c, err)
+						failed.Store(true)
+						return
+					}
+				}
+				summaries[c] = dst
+				if onCell != nil {
+					onCell(c, dst)
+				}
+			}
 		}
 	}
 	if workers == 1 {
@@ -111,14 +167,18 @@ func RunGridStream(cells []Trial, trials int, cfg Config, sc StreamConfig) ([]*T
 		c, i := firstEr.index/trials, firstEr.index%trials
 		return nil, fmt.Errorf("engine: cell %d trial %d: %w", c, i, err)
 	}
-	for c := range cells {
-		dst := accs[c*shards]
-		for s := 1; s < shards; s++ {
-			if err := dst.Merge(accs[c*shards+s]); err != nil {
-				return nil, fmt.Errorf("engine: cell %d merge shard %d: %w", c, s, err)
-			}
-		}
-		summaries[c] = dst
+	if err := mergeEr.get(); err != nil {
+		return nil, fmt.Errorf("engine: cell %d merge: %w", mergeEr.index, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
 	}
 	return summaries, nil
+}
+
+// RunGridStream is RunGridStreamContext without cancellation or per-cell
+// delivery, kept as the compatibility entry point for callers that predate
+// the context-first API.
+func RunGridStream(cells []Trial, trials int, cfg Config, sc StreamConfig) ([]*TrialSummary, error) {
+	return RunGridStreamContext(context.Background(), cells, trials, cfg, sc, nil)
 }

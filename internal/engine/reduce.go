@@ -13,6 +13,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -48,22 +49,29 @@ func shardBounds(n, shards, s int) (lo, hi int) {
 	return lo, hi
 }
 
-// Reduce runs fn for every trial index 0..n-1 across the worker pool and
-// folds the results into accumulators without retaining them: each shard
-// (a contiguous block of trial indices, fixed by n alone) gets a fresh
-// accumulator from newAcc, fold is called per trial in index order within
-// its shard, and the shard accumulators are merged in shard-index order
-// with merge(dst, src) — dst accumulates left to right, src is discarded.
-// The reduced value is bit-identical at any worker count. n == 0 returns a
-// fresh empty accumulator. On error Reduce reports the lowest-indexed
-// failing trial (from fn or fold) and stops claiming new shards.
+// ReduceContext runs fn for every trial index 0..n-1 across the worker pool
+// and folds the results into accumulators without retaining them: each
+// shard (a contiguous block of trial indices, fixed by n alone) gets a
+// fresh accumulator from newAcc, fold is called per trial in index order
+// within its shard, and the shard accumulators are merged in shard-index
+// order with merge(dst, src) — dst accumulates left to right, src is
+// discarded. The reduced value is bit-identical at any worker count.
+// n == 0 returns a fresh empty accumulator. On error ReduceContext reports
+// the lowest-indexed failing trial (from fn or fold) and stops claiming new
+// shards.
+//
+// Cancelling ctx stops the pool at shard granularity: a claimed shard runs
+// to completion, no new shards are claimed, and ReduceContext returns
+// ctx.Err() (wrapped). Shard completion keeps the fold order of everything
+// that did run deterministic; a trial error takes precedence over
+// cancellation in the returned error.
 //
 // fn and fold run concurrently across shards: fn must derive randomness
 // from its trial index alone (typically via SeedFor), and fold must only
 // touch its own accumulator. merge runs sequentially after all workers
 // finish.
-func Reduce[T, A any](
-	n int, cfg Config,
+func ReduceContext[T, A any](
+	ctx context.Context, n int, cfg Config,
 	fn func(trial int) (T, error),
 	newAcc func() A,
 	fold func(acc A, trial int, value T) error,
@@ -90,8 +98,14 @@ func Reduce[T, A any](
 	)
 	// One code path for any worker count: the sequential case is the same
 	// shard walk on a pool of one, so fold/merge rounding is identical.
+	done := ctx.Done()
 	work := func() {
 		for !failed.Load() {
+			select {
+			case <-done:
+				return
+			default:
+			}
 			s := int(next.Add(1)) - 1
 			if s >= shards {
 				return
@@ -128,6 +142,11 @@ func Reduce[T, A any](
 	if err := firstEr.get(); err != nil {
 		return zero, fmt.Errorf("engine: trial %d: %w", firstEr.index, err)
 	}
+	// Checked before merging: a cancelled run may have skipped shards, whose
+	// accumulators were never created.
+	if err := ctx.Err(); err != nil {
+		return zero, fmt.Errorf("engine: %w", err)
+	}
 	dst := accs[0]
 	for s := 1; s < shards; s++ {
 		if err := merge(dst, accs[s]); err != nil {
@@ -135,6 +154,18 @@ func Reduce[T, A any](
 		}
 	}
 	return dst, nil
+}
+
+// Reduce is ReduceContext without cancellation, kept as the compatibility
+// entry point for callers that predate the context-first API.
+func Reduce[T, A any](
+	n int, cfg Config,
+	fn func(trial int) (T, error),
+	newAcc func() A,
+	fold func(acc A, trial int, value T) error,
+	merge func(dst, src A) error,
+) (A, error) {
+	return ReduceContext(context.Background(), n, cfg, fn, newAcc, fold, merge)
 }
 
 // StreamConfig parameterizes the summary statistics RunStream tracks.
@@ -196,17 +227,26 @@ func (t *TrialSummary) Merge(src *TrialSummary) error {
 	return t.Transmissions.Merge(src.Transmissions)
 }
 
-// RunStream is the memory-bounded counterpart of RunMany: it executes
-// `trials` independent runs of one (net, alg, adv, simCfg) combination with
-// the same per-trial seed derivation — SeedFor(simCfg.Seed, i) — but folds
-// each sim.Result into shard accumulators instead of retaining it, so RSS
-// stays O(Shards(trials)) no matter how many trials run. The summary is
-// bit-identical at any worker count; its relation to the RunMany slice path
-// is exact for counts/min/max, exact up to floating-point rounding for
-// mean/variance, and within P² tolerance for quantiles once the trial count
-// exceeds sc.ExactK (below that, quantiles are exact too).
-// It is exactly RunStreamSchedule over a static schedule.
+// RunStreamContext is the memory-bounded counterpart of RunMany: it
+// executes `trials` independent runs of one (net, alg, adv, simCfg)
+// combination with the same per-trial seed derivation —
+// SeedFor(simCfg.Seed, i) — but folds each sim.Result into shard
+// accumulators instead of retaining it, so RSS stays O(Shards(trials)) no
+// matter how many trials run. The summary is bit-identical at any worker
+// count; its relation to the RunMany slice path is exact for
+// counts/min/max, exact up to floating-point rounding for mean/variance,
+// and within P² tolerance for quantiles once the trial count exceeds
+// sc.ExactK (below that, quantiles are exact too). Cancellation follows
+// ReduceContext's shard-granularity contract.
+// It is exactly RunStreamScheduleContext over a static schedule.
+func RunStreamContext(ctx context.Context, net *graph.Dual, alg sim.Algorithm, adv sim.Adversary, simCfg sim.Config,
+	trials int, cfg Config, sc StreamConfig) (*TrialSummary, error) {
+	return RunStreamScheduleContext(ctx, graph.Static(net), alg, adv, simCfg, trials, cfg, sc)
+}
+
+// RunStream is RunStreamContext without cancellation (compatibility entry
+// point).
 func RunStream(net *graph.Dual, alg sim.Algorithm, adv sim.Adversary, simCfg sim.Config,
 	trials int, cfg Config, sc StreamConfig) (*TrialSummary, error) {
-	return RunStreamSchedule(graph.Static(net), alg, adv, simCfg, trials, cfg, sc)
+	return RunStreamContext(context.Background(), net, alg, adv, simCfg, trials, cfg, sc)
 }

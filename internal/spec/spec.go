@@ -31,6 +31,7 @@
 package spec
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -66,6 +67,12 @@ func (c Choice) label() string {
 // runnable; build one with New (which applies defaults and validates) or
 // unmarshal one from JSON and call Validate.
 type Scenario struct {
+	// Version is the wire-format version of the document (see WireVersion).
+	// Zero means "not stated" and is read — and marshalled — exactly like
+	// version 1, so pre-versioning files and their serialized forms are
+	// unchanged; unknown versions are rejected when unmarshalling and when
+	// validating.
+	Version int `json:"version,omitempty"`
 	// Topology names the network generator.
 	Topology Choice `json:"topology"`
 	// Algorithm names the broadcast algorithm.
@@ -91,6 +98,23 @@ type Scenario struct {
 	// marshalling a static scenario emits no schedule block at all
 	// (omitzero), so their serialized form is unchanged too.
 	Schedule Choice `json:"schedule,omitzero"`
+}
+
+// UnmarshalJSON decodes a scenario and rejects unknown wire-format versions
+// up front with *ErrUnsupportedVersion, so a future-versioned file fails
+// loudly instead of being silently misread. Fields already set on the
+// receiver act as defaults (Sweep's base inheritance relies on this).
+func (s *Scenario) UnmarshalJSON(b []byte) error {
+	type alias Scenario // drop methods to avoid recursion
+	tmp := alias(*s)
+	if err := json.Unmarshal(b, &tmp); err != nil {
+		return err
+	}
+	if err := checkVersion("scenario", tmp.Version); err != nil {
+		return err
+	}
+	*s = Scenario(tmp)
+	return nil
 }
 
 // scheduleName resolves the schedule choice's name, defaulting to "static".
@@ -176,6 +200,9 @@ func New(opts ...Option) (Scenario, error) {
 // fields must be in range. Unknown names fail with *registry.ErrUnknownName,
 // which lists the valid names and close suggestions.
 func (s Scenario) Validate() error {
+	if err := checkVersion("scenario", s.Version); err != nil {
+		return err
+	}
 	if err := registry.ValidateTopology(s.Topology.Name, s.Topology.Params); err != nil {
 		return err
 	}
@@ -282,47 +309,88 @@ func (b *Built) schedule() graph.Schedule {
 	return graph.Static(b.Net)
 }
 
-// Run executes the built scenario once: dynamically when a schedule is set,
-// which for the static schedule is exactly the fixed-network run.
-func (b *Built) Run() (*sim.Result, error) {
+// RunContext executes the built scenario once: dynamically when a schedule
+// is set, which for the static schedule is exactly the fixed-network run. A
+// single run is one indivisible trial, so ctx is only consulted before it
+// starts.
+func (b *Built) RunContext(ctx context.Context) (*sim.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return sim.RunDynamic(b.schedule(), b.Alg, b.Adv, b.Cfg)
 }
 
-// RunMany fans trials independent runs over the engine (see engine.RunMany
-// for the seed-derivation and determinism contract, which dynamic scenarios
-// inherit via engine.RunManySchedule).
+// Run is RunContext without cancellation (compatibility entry point).
+func (b *Built) Run() (*sim.Result, error) {
+	return b.RunContext(context.Background())
+}
+
+// RunManyContext fans trials independent runs over the engine (see
+// engine.RunManyContext for the seed-derivation, determinism, and
+// cancellation contracts, which dynamic scenarios inherit via
+// engine.RunManyScheduleContext).
+func (b *Built) RunManyContext(ctx context.Context, trials int, ec engine.Config) ([]*sim.Result, error) {
+	return engine.RunManyScheduleContext(ctx, b.schedule(), b.Alg, b.Adv, b.Cfg, trials, ec)
+}
+
+// RunMany is RunManyContext without cancellation (compatibility entry
+// point).
 func (b *Built) RunMany(trials int, ec engine.Config) ([]*sim.Result, error) {
-	return engine.RunManySchedule(b.schedule(), b.Alg, b.Adv, b.Cfg, trials, ec)
+	return b.RunManyContext(context.Background(), trials, ec)
 }
 
-// RunStream is the memory-bounded sweep (see engine.RunStream).
+// RunStreamContext is the memory-bounded sweep, cancellable at shard
+// granularity (see engine.RunStreamContext).
+func (b *Built) RunStreamContext(ctx context.Context, trials int, ec engine.Config, sc engine.StreamConfig) (*engine.TrialSummary, error) {
+	return engine.RunStreamScheduleContext(ctx, b.schedule(), b.Alg, b.Adv, b.Cfg, trials, ec, sc)
+}
+
+// RunStream is RunStreamContext without cancellation (compatibility entry
+// point).
 func (b *Built) RunStream(trials int, ec engine.Config, sc engine.StreamConfig) (*engine.TrialSummary, error) {
-	return engine.RunStreamSchedule(b.schedule(), b.Alg, b.Adv, b.Cfg, trials, ec, sc)
+	return b.RunStreamContext(context.Background(), trials, ec, sc)
 }
 
-// Run builds the scenario and executes it once.
+// RunContext builds the scenario and executes it once.
+func (s Scenario) RunContext(ctx context.Context) (*sim.Result, error) {
+	b, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	return b.RunContext(ctx)
+}
+
+// Run is RunContext without cancellation (compatibility entry point).
 func (s Scenario) Run() (*sim.Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunManyContext builds the scenario and fans trials runs over the engine.
+func (s Scenario) RunManyContext(ctx context.Context, trials int, ec engine.Config) ([]*sim.Result, error) {
 	b, err := s.Build()
 	if err != nil {
 		return nil, err
 	}
-	return b.Run()
+	return b.RunManyContext(ctx, trials, ec)
 }
 
-// RunMany builds the scenario and fans trials runs over the engine.
+// RunMany is RunManyContext without cancellation (compatibility entry
+// point).
 func (s Scenario) RunMany(trials int, ec engine.Config) ([]*sim.Result, error) {
-	b, err := s.Build()
-	if err != nil {
-		return nil, err
-	}
-	return b.RunMany(trials, ec)
+	return s.RunManyContext(context.Background(), trials, ec)
 }
 
-// RunStream builds the scenario and executes a memory-bounded sweep.
-func (s Scenario) RunStream(trials int, ec engine.Config, sc engine.StreamConfig) (*engine.TrialSummary, error) {
+// RunStreamContext builds the scenario and executes a memory-bounded sweep.
+func (s Scenario) RunStreamContext(ctx context.Context, trials int, ec engine.Config, sc engine.StreamConfig) (*engine.TrialSummary, error) {
 	b, err := s.Build()
 	if err != nil {
 		return nil, err
 	}
-	return b.RunStream(trials, ec, sc)
+	return b.RunStreamContext(ctx, trials, ec, sc)
+}
+
+// RunStream is RunStreamContext without cancellation (compatibility entry
+// point).
+func (s Scenario) RunStream(trials int, ec engine.Config, sc engine.StreamConfig) (*engine.TrialSummary, error) {
+	return s.RunStreamContext(context.Background(), trials, ec, sc)
 }

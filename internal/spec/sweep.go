@@ -1,9 +1,11 @@
 package spec
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
+	"sync"
 
 	"dualgraph/internal/engine"
 	"dualgraph/internal/registry"
@@ -17,6 +19,9 @@ import (
 // seed, with the last axis innermost — so cell indices and labels are
 // stable.
 type Sweep struct {
+	// Version is the wire-format version of the document (see WireVersion);
+	// zero reads and marshals as version 1, unknown versions are rejected.
+	Version int `json:"version,omitempty"`
 	// Base supplies the value of every axis the sweep does not list, and
 	// the non-axis fields (start rule, max rounds).
 	Base Scenario `json:"base"`
@@ -52,11 +57,15 @@ type Cell struct {
 
 // UnmarshalJSON fills unset base fields with Default's values, so a spec
 // file only states what it cares about: `{"base": {"n": 17}}` inherits the
-// default topology, algorithm, adversary, rules, and seed.
+// default topology, algorithm, adversary, rules, and seed. Unknown
+// wire-format versions are rejected up front with *ErrUnsupportedVersion.
 func (sw *Sweep) UnmarshalJSON(b []byte) error {
 	type alias Sweep // drop methods to avoid recursion
 	tmp := alias{Base: Default()}
 	if err := json.Unmarshal(b, &tmp); err != nil {
+		return err
+	}
+	if err := checkVersion("sweep", tmp.Version); err != nil {
 		return err
 	}
 	*sw = Sweep(tmp)
@@ -72,7 +81,14 @@ func (sw Sweep) trials() int {
 }
 
 // Cells expands the grid in enumeration order and validates every cell.
+// Axis value combinations that expand to duplicate labels — e.g. a repeated
+// seed or two identical topology choices — are rejected with
+// *ErrDuplicateLabel, since labels key GridResult lookups and downstream
+// result streams.
 func (sw Sweep) Cells() ([]Cell, error) {
+	if err := checkVersion("sweep", sw.Version); err != nil {
+		return nil, err
+	}
 	if sw.Trials < 0 {
 		return nil, fmt.Errorf("sweep: trials must be >= 0, got %d", sw.Trials)
 	}
@@ -125,6 +141,7 @@ func (sw Sweep) Cells() ([]Cell, error) {
 		}
 	}
 	cells := make([]Cell, 0, total)
+	seen := make(map[string]int, total)
 	// odometer enumeration: the last listed axis is the innermost digit.
 	idx := make([]int, len(axes))
 	for {
@@ -146,6 +163,10 @@ func (sw Sweep) Cells() ([]Cell, error) {
 		if err := s.Validate(); err != nil {
 			return nil, fmt.Errorf("sweep cell %d (%s): %w", len(cells), label, err)
 		}
+		if first, dup := seen[label]; dup {
+			return nil, &ErrDuplicateLabel{Label: label, First: first, Second: len(cells)}
+		}
+		seen[label] = len(cells)
 		cells = append(cells, Cell{Index: len(cells), Label: label, Scenario: s})
 
 		// advance the odometer
@@ -206,18 +227,28 @@ func (g *GridResult) Cell(label string) (*CellResult, bool) {
 	return nil, false
 }
 
-// Run expands the sweep and executes the whole grid on the trial engine:
-// cell networks are constructed in parallel (deterministically, each from
-// its own scenario seed), then all (cell, shard) work units share one
-// worker pool (engine.RunGridStream), so the pool stays saturated whether
-// the grid is wide or deep. Every cell summary is bit-identical at any
-// worker count and equal to running that cell's Scenario alone.
-func (sw Sweep) Run(ec engine.Config, sc engine.StreamConfig) (*GridResult, error) {
+// Stream expands the sweep and executes the whole grid on the trial
+// engine: cell networks are constructed in parallel (deterministically,
+// each from its own scenario seed), then all (cell, shard) work units share
+// one worker pool (engine.RunGridStreamContext), so the pool stays
+// saturated whether the grid is wide or deep. Every cell summary is
+// bit-identical at any worker count and equal to running that cell's
+// Scenario alone.
+//
+// onCell, when non-nil, receives finished cells in enumeration order while
+// the rest of the grid is still running: a cell is delivered as soon as it
+// and every cell before it have completed, so the delivered sequence is
+// always a prefix of the full grid — byte-identical to the corresponding
+// prefix of an uninterrupted run. Calls are serialized.
+//
+// Cancelling ctx stops the run at (cell, shard) granularity with a wrapped
+// context error; cells already delivered through onCell remain final.
+func (sw Sweep) Stream(ctx context.Context, ec engine.Config, sc engine.StreamConfig, onCell func(CellResult)) (*GridResult, error) {
 	cells, err := sw.Cells()
 	if err != nil {
 		return nil, err
 	}
-	built, err := engine.Map(len(cells), ec, func(i int) (engine.Trial, error) {
+	built, err := engine.MapContext(ctx, len(cells), ec, func(i int) (engine.Trial, error) {
 		b, err := cells[i].Scenario.Build()
 		if err != nil {
 			return engine.Trial{}, fmt.Errorf("cell %s: %w", cells[i].Label, err)
@@ -246,7 +277,28 @@ func (sw Sweep) Run(ec engine.Config, sc engine.StreamConfig) (*GridResult, erro
 			seen[k] = c.Label
 		}
 	}
-	sums, err := engine.RunGridStream(built, sw.trials(), ec, sc)
+	// Reorder buffer: the engine reports cells in completion order, the
+	// callback contract is enumeration order. done tracks out-of-order
+	// completions; next is the lowest undelivered cell.
+	var (
+		mu   sync.Mutex
+		done []*engine.TrialSummary
+		next int
+	)
+	var onEngineCell func(c int, sum *engine.TrialSummary)
+	if onCell != nil {
+		done = make([]*engine.TrialSummary, len(cells))
+		onEngineCell = func(c int, sum *engine.TrialSummary) {
+			mu.Lock()
+			defer mu.Unlock()
+			done[c] = sum
+			for next < len(done) && done[next] != nil {
+				onCell(CellResult{Cell: cells[next], Summary: done[next]})
+				next++
+			}
+		}
+	}
+	sums, err := engine.RunGridStreamContext(ctx, built, sw.trials(), ec, sc, onEngineCell)
 	if err != nil {
 		return nil, err
 	}
@@ -255,4 +307,14 @@ func (sw Sweep) Run(ec engine.Config, sc engine.StreamConfig) (*GridResult, erro
 		out.Cells[i] = CellResult{Cell: c, Summary: sums[i]}
 	}
 	return out, nil
+}
+
+// RunContext is Stream without per-cell delivery.
+func (sw Sweep) RunContext(ctx context.Context, ec engine.Config, sc engine.StreamConfig) (*GridResult, error) {
+	return sw.Stream(ctx, ec, sc, nil)
+}
+
+// Run is RunContext without cancellation (compatibility entry point).
+func (sw Sweep) Run(ec engine.Config, sc engine.StreamConfig) (*GridResult, error) {
+	return sw.RunContext(context.Background(), ec, sc)
 }

@@ -1,0 +1,50 @@
+package spec
+
+import "fmt"
+
+// WireVersion is the current version of the spec wire format: the JSON
+// encodings of Scenario and Sweep, and the job envelope the sweep service
+// wraps them in. Files and requests without a "version" field are read as
+// version 1 — the format that existed before the field did — so every
+// pre-versioning spec file keeps its exact meaning. Unknown versions are
+// rejected with *ErrUnsupportedVersion instead of being silently misread.
+const WireVersion = 1
+
+// ErrUnsupportedVersion reports a spec document whose "version" field names
+// a wire format this build does not speak.
+type ErrUnsupportedVersion struct {
+	// Kind is the document kind: "scenario", "sweep", or "job".
+	Kind string
+	// Got is the rejected version number.
+	Got int
+}
+
+func (e *ErrUnsupportedVersion) Error() string {
+	return fmt.Sprintf("spec: unsupported %s version %d (this build speaks version %d; omit the field for version 1)",
+		e.Kind, e.Got, WireVersion)
+}
+
+// checkVersion validates a document's version field: 0 (absent) and
+// WireVersion are accepted, everything else is rejected.
+func checkVersion(kind string, v int) error {
+	if v != 0 && v != WireVersion {
+		return &ErrUnsupportedVersion{Kind: kind, Got: v}
+	}
+	return nil
+}
+
+// ErrDuplicateLabel reports a sweep whose axis values expand to two cells
+// with the same label. Labels key GridResult lookups and the service's
+// result streams, so colliding cells would be indistinguishable downstream;
+// the sweep is rejected instead.
+type ErrDuplicateLabel struct {
+	// Label is the colliding cell label.
+	Label string
+	// First and Second are the enumeration indices of the colliding cells.
+	First, Second int
+}
+
+func (e *ErrDuplicateLabel) Error() string {
+	return fmt.Sprintf("sweep: cells %d and %d expand to the same label %q (duplicate axis values?); every cell label must be unique",
+		e.First, e.Second, e.Label)
+}

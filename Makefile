@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check staticcheck test test-short race serve-smoke bench-smoke bench-json docs-registry docs-check ci
+.PHONY: all build vet fmt-check staticcheck test test-short race serve-smoke bench-smoke bench-json bench-compare docs-registry docs-check ci
 
 all: build
 
@@ -58,20 +58,36 @@ bench-smoke:
 	$(GO) test -run NONE -bench 'BenchmarkEngine|BenchmarkSimRoundLoop' -benchtime 3x .
 
 # The perf-trajectory artifact: hot-path, reducer, grid, graph-layer, and
-# dynamics benchmarks parsed into BENCH_pr5.json (benchmark name -> ns/op,
+# dynamics benchmarks parsed into BENCH_pr7.json (benchmark name -> ns/op,
 # B/op, allocs/op, custom metrics). The 'BenchmarkEngine' pattern covers
 # both the slice path (EngineSequential/Parallel) and the streaming reducer
-# (EngineReduceSequential/Parallel); 'BenchmarkGridSweep' captures
-# cross-cell parallel throughput of the declarative grid runner vs
-# sequential cells; 'BenchmarkEpochSwap'/'BenchmarkDynamicSweep' start the
-# trajectory of the dynamic-topology path. CI uploads the file so the trend
-# is comparable across PRs.
+# (EngineReduceSequential/Parallel); 'BenchmarkSimRoundLoop' also matches
+# the Static/Dynamic pair that brackets the hoisted round loop;
+# 'BenchmarkGridSweep' captures cross-cell parallel throughput of the
+# declarative grid runner vs sequential cells; 'BenchmarkEpochSwap' also
+# matches the EpochSwapIncremental/pDown=* churn-scaling series. CI uploads
+# the file so the trend is comparable across PRs.
 bench-json:
 	$(GO) test -run NONE -bench 'BenchmarkEngine|BenchmarkSimRoundLoop|BenchmarkGridSweep|BenchmarkEpochSwap|BenchmarkDynamicSweep' -benchmem -benchtime 3x . > bench_raw.txt
 	$(GO) test -run NONE -bench 'BenchmarkGraphConstruction|BenchmarkUnreliableMembership|BenchmarkGeometricBuild100k|BenchmarkPreferentialAttachmentBuild100k' -benchmem -benchtime 3x ./internal/graph/ >> bench_raw.txt
-	$(GO) run ./cmd/benchjson < bench_raw.txt > BENCH_pr5.json
+	$(GO) run ./cmd/benchjson < bench_raw.txt > BENCH_pr7.json
 	@rm -f bench_raw.txt
-	@echo "wrote BENCH_pr5.json"
+	@echo "wrote BENCH_pr7.json"
+
+# Regression gate over the trajectory artifact: compare the fresh
+# BENCH_pr7.json against a baseline report (CI fetches the previous run's
+# artifact into $(BENCH_BASELINE); locally point it at any saved report) and
+# fail on a >10% ns/op regression in the gated round-loop and epoch-swap
+# benchmarks. Skipped with a notice when no baseline exists (first run,
+# artifact expired) — absence of a baseline must not mask absence of the
+# gate, so the skip prints loudly.
+BENCH_BASELINE ?= BENCH_baseline.json
+bench-compare: bench-json
+	@if [ -f "$(BENCH_BASELINE)" ]; then \
+		$(GO) run ./cmd/benchcmp -old "$(BENCH_BASELINE)" -new BENCH_pr7.json; \
+	else \
+		echo "bench-compare: no baseline at $(BENCH_BASELINE); skipping regression gate"; \
+	fi
 
 # Regenerate the registry reference (docs/REGISTRY.md) from the code's own
 # registry tables. Commit the result; docs-check fails CI on drift.

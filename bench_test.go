@@ -496,10 +496,12 @@ func BenchmarkEngineReduceParallel(b *testing.B) {
 	benchEngineReduce(b, runtime.GOMAXPROCS(0))
 }
 
-// BenchmarkSimRoundLoop measures the allocation profile of the rewritten
-// delivery hot path: steady-state rounds must not allocate (allocs/op stays
-// flat in the round count, dominated by per-run setup).
-func BenchmarkSimRoundLoop(b *testing.B) {
+// benchSimRoundLoop drives 2000 rounds of the word-parallel delivery core on
+// the clique-bridge workload; sched selects between the static fast path
+// (nil: no epoch branch in the loop at all) and a dynamic schedule paying
+// incremental epoch swaps.
+func benchSimRoundLoop(b *testing.B, sched func(*graph.Dual) (graph.Schedule, error)) {
+	b.Helper()
 	n := 65
 	d, err := graph.CliqueBridge(n)
 	if err != nil {
@@ -509,17 +511,51 @@ func BenchmarkSimRoundLoop(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	cfg := sim.Config{
+		Rule: sim.CR4, Start: sim.SyncStart,
+		MaxRounds: 2000, RunToMaxRounds: true,
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, err := sim.Run(d, alg, adversary.GreedyCollider{}, sim.Config{
-			Rule: sim.CR4, Start: sim.SyncStart, Seed: int64(i),
-			MaxRounds: 2000, RunToMaxRounds: true,
-		})
+		cfg.Seed = int64(i)
+		if sched == nil {
+			_, err = sim.Run(d, alg, adversary.GreedyCollider{}, cfg)
+		} else {
+			var s graph.Schedule
+			if s, err = sched(d); err == nil {
+				_, err = sim.RunDynamic(s, alg, adversary.GreedyCollider{}, cfg)
+			}
+		}
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSimRoundLoop measures the steady-state cost of the delivery hot
+// path on a static network: the headline perf-trajectory number (PR 2→7 in
+// README's performance notes). Steady-state rounds must not allocate
+// (allocs/op stays flat in the round count, dominated by per-run setup).
+func BenchmarkSimRoundLoop(b *testing.B) {
+	benchSimRoundLoop(b, nil)
+}
+
+// BenchmarkSimRoundLoopStatic is BenchmarkSimRoundLoop under its
+// mode-explicit name, so BENCH json artifacts track the static-vs-dynamic
+// cost split side by side.
+func BenchmarkSimRoundLoopStatic(b *testing.B) {
+	benchSimRoundLoop(b, nil)
+}
+
+// BenchmarkSimRoundLoopDynamic runs the identical workload under a churn
+// schedule (epoch every 50 rounds): the delta against the Static variant is
+// the whole price of dynamics — incremental epoch materialization, buffer
+// re-checks, and delivery-mask refreshes at the boundary.
+func BenchmarkSimRoundLoopDynamic(b *testing.B) {
+	benchSimRoundLoop(b, func(d *graph.Dual) (graph.Schedule, error) {
+		return graph.NewChurn(d, 50, 0.05)
+	})
 }
 
 // BenchmarkExperimentsQuick runs the full experiment registry in quick mode
@@ -587,9 +623,9 @@ func BenchmarkGridSweepParallel(b *testing.B) {
 
 // BenchmarkEpochSwap measures the epoch-boundary cost of the dynamics
 // layer in isolation: materializing successive churn epochs of a 1000-node
-// geometric dual (filtered rebuild through Builder→Freeze plus the fringe
-// subtract) — the price a dynamic run pays every epoch-len rounds, while
-// rounds within an epoch stay on the untouched allocation-free hot path.
+// geometric dual through the incremental patch path (dirty-row CSR filter
+// plus fringe row reuse) — the price a dynamic run pays every epoch-len
+// rounds, while rounds within an epoch stay on the allocation-free hot path.
 func BenchmarkEpochSwap(b *testing.B) {
 	d, err := graph.Geometric(1000, 0.06, 0.14, dualgraph.NewRand(1))
 	if err != nil {
@@ -609,6 +645,39 @@ func BenchmarkEpochSwap(b *testing.B) {
 		arcs = ep.GPrime().NumEdges()
 	}
 	b.ReportMetric(float64(arcs), "arcs/epoch")
+}
+
+// BenchmarkEpochSwapIncremental sweeps the per-epoch churn probability to
+// pin the incremental claim: swap cost must scale with the down set and its
+// neighbourhood (the dirty rows), not with the network — a 100× drop in
+// churn rate should show a large drop in ns/op, where the old full
+// Builder→Freeze rebuild was flat across the sweep.
+func BenchmarkEpochSwapIncremental(b *testing.B) {
+	d, err := graph.Geometric(1000, 0.06, 0.14, dualgraph.NewRand(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pDown := range []float64{0.002, 0.02, 0.2} {
+		b.Run(fmt.Sprintf("pDown=%g", pDown), func(b *testing.B) {
+			sched, err := graph.NewChurn(d, 8, pDown)
+			if err != nil {
+				b.Fatal(err)
+			}
+			swaps := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ep, err := sched.Epoch(1+i%64, 7)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ep != nil {
+					swaps++
+				}
+			}
+			_ = swaps
+		})
+	}
 }
 
 // benchDynamicSweep runs a churn-schedule Monte Carlo sweep through the

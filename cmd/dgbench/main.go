@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -46,9 +48,40 @@ func run(args []string, w io.Writer) error {
 		workers     = fs.Int("workers", 0, "trial engine worker count (0 = one per CPU); output is identical at any value")
 		reduceBench = fs.Int("reduce-bench", 0, "if > 0, skip experiments and measure streaming-reducer throughput over this many trials")
 		list        = fs.Bool("list", false, "print registered topologies/algorithms/adversaries/schedules with parameter docs, then exit (use -experiment list for the experiment index)")
+		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memprofile  = fs.String("memprofile", "", "write a post-GC heap profile to this file after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		// Open eagerly so a bad path fails before minutes of work, write on
+		// the way out so the profile reflects live heap at end of run.
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dgbench: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 	if *list {
 		// -list is a pure query; reject any other explicitly-set flag

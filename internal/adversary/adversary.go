@@ -219,32 +219,30 @@ func (GreedyCollider) Deliver(v *sim.View, senders []graph.NodeID) map[graph.Nod
 }
 
 // DeliverInto implements sim.BufferedDeliverer with the same jamming policy
-// as Deliver, using the sink's scratch space instead of per-round maps.
+// as Deliver, reading the reliable reception picture straight off the sink's
+// reach bitsets instead of recounting it edge by edge: EachReachedOnce
+// yields exactly the nodes a lone message would cleanly reach, in ascending
+// node order — the same nodes, in the same order, as the old O(n) scan over
+// a per-sender count pass. Each jam targets only the node just yielded, so
+// adding mid-iteration never changes which nodes the sweep visits.
 func (GreedyCollider) DeliverInto(v *sim.View, senders []graph.NodeID, sink *sim.DeliverySink) {
-	n := v.Dual.N()
-	reliableCount, reachedBy := sink.Scratch()
-	for _, s := range senders {
-		reliableCount[s]++
-		reachedBy[s] = s
-		for _, u := range v.Dual.ReliableOut(s) {
-			reliableCount[u]++
-			reachedBy[u] = s
+	sink.EachReachedOnce(func(u, from graph.NodeID) bool {
+		if v.HasMessage[u] || v.Sent[u] {
+			return true
 		}
-	}
-	for u := 0; u < n; u++ {
-		if v.HasMessage[u] || reliableCount[u] != 1 || v.Sent[u] {
-			continue
-		}
+		// u would cleanly receive a message: jam it with any other sender
+		// that has an unreliable edge to u.
 		for _, s := range senders {
-			if s == reachedBy[u] {
+			if s == from {
 				continue
 			}
-			if v.Dual.HasUnreliableEdge(s, graph.NodeID(u)) {
-				sink.Add(s, graph.NodeID(u))
+			if v.Dual.HasUnreliableEdge(s, u) {
+				sink.Add(s, u)
 				break
 			}
 		}
-	}
+		return true
+	})
 }
 
 // Resolve implements sim.Adversary.

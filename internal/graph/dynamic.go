@@ -98,11 +98,18 @@ func (s *StaticSchedule) Epoch(int, int64) (*Dual, error) { return s.d, nil }
 // Base returns the wrapped network.
 func (s *StaticSchedule) Base() *Dual { return s.d }
 
-// backboneArcs returns the arc set (both orientations) of a BFS tree of d's
-// reliable graph rooted at the source. The built-in mutation policies never
-// remove or demote backbone arcs, which is what keeps every epoch a valid
-// Dual: all nodes stay reachable from the source in G by construction.
-func backboneArcs(d *Dual) map[uint64]struct{} {
+// backboneTree is the BFS-tree membership test of the mutation policies,
+// stored as a parent array: arc (u, v) is a backbone arc iff one endpoint is
+// the BFS parent of the other. The built-in mutation policies never remove
+// or demote backbone arcs, which is what keeps every epoch a valid Dual: all
+// nodes stay reachable from the source in G by construction. Two array reads
+// replace the old per-arc hash-map lookup, which dominated the keep
+// predicates of the full-rebuild path.
+type backboneTree struct {
+	parent []NodeID // parent[source] = source; tree of the base's G
+}
+
+func newBackboneTree(d *Dual) *backboneTree {
 	g := d.G()
 	parent := make([]NodeID, g.N())
 	for i := range parent {
@@ -121,31 +128,95 @@ func backboneArcs(d *Dual) map[uint64]struct{} {
 			}
 		}
 	}
-	arcs := make(map[uint64]struct{}, 2*g.N())
-	for v, p := range parent {
-		if NodeID(v) == src || p < 0 {
-			continue
-		}
-		arcs[packArc(p, NodeID(v))] = struct{}{}
-		arcs[packArc(NodeID(v), p)] = struct{}{}
-	}
-	return arcs
+	return &backboneTree{parent: parent}
 }
 
-// rebuildFiltered re-freezes a base CSR core keeping only the arcs the
-// policy admits. The builder inherits the base's directedness but receives
-// each stored orientation explicitly, so symmetric keep functions preserve
-// symmetry and directed bases stay directed.
-func rebuildFiltered(base *Graph, keep func(u, v NodeID) bool) *Graph {
-	b := NewBuilder(base.N(), base.Directed())
-	for u := 0; u < base.N(); u++ {
-		for _, v := range base.Out(NodeID(u)) {
-			if keep(NodeID(u), v) {
-				b.addArc(NodeID(u), v)
+// has reports whether (u, v) — in either orientation — is a tree arc.
+func (b *backboneTree) has(u, v NodeID) bool {
+	return b.parent[v] == u || b.parent[u] == v
+}
+
+// filterRowsPatched builds the CSR graph obtained from base by deleting the
+// arcs that keep rejects, given that only rows flagged dirty can change:
+// clean rows are copied verbatim (one bulk copy per row, already sorted and
+// deduplicated), and only dirty rows pay the per-arc keep predicate. This is
+// the incremental half of an epoch swap — no Builder log, no re-sort, no
+// hashing; cost O(m) of straight-line copying plus O(Σ deg(dirty)) predicate
+// evaluations, against the old full Builder→Freeze rebuild that re-sorted
+// every row.
+//
+// Callers must flag every row whose content can differ from the base; a row
+// flagged dirty that turns out unchanged is merely re-filtered to an
+// identical result, so over-approximating dirtiness affects cost, never
+// structure.
+func filterRowsPatched(base *Graph, dirty []bool, keep func(u, v NodeID) bool) *Graph {
+	n := base.n
+	offsets := make([]int32, n+1)
+	targets := make([]NodeID, 0, len(base.targets))
+	for u := 0; u < n; u++ {
+		row := base.Out(NodeID(u))
+		if !dirty[u] {
+			targets = append(targets, row...)
+		} else {
+			for _, v := range row {
+				if keep(NodeID(u), v) {
+					targets = append(targets, v)
+				}
 			}
 		}
+		offsets[u+1] = int32(len(targets))
 	}
-	return b.Freeze()
+	return &Graph{n: n, directed: base.directed, offsets: offsets, targets: targets[:len(targets):len(targets)]}
+}
+
+// subtractPatched computes the fringe gp \ g like subtract, reusing the
+// base's fringe rows for every clean node: a fringe row can change only where
+// the epoch's g or gp row changed, so only dirty rows pay the merge-walk.
+// The caller guarantees g ⊆ gp (both sides derive from a validated base via
+// the same keep predicate), so unlike subtract no subgraph violation can
+// arise. The capacity len(gp) - len(g) is exact for subset inputs, so the
+// append loops never reallocate.
+func subtractPatched(gp, g, baseFringe *Graph, baseFrom []NodeID, dirty []bool) (*Graph, []NodeID) {
+	n := gp.n
+	offsets := make([]int32, n+1)
+	fringeCap := len(gp.targets) - len(g.targets)
+	if fringeCap < 0 {
+		fringeCap = 0
+	}
+	targets := make([]NodeID, 0, fringeCap)
+	from := make([]NodeID, 0, fringeCap)
+	for u := 0; u < n; u++ {
+		if !dirty[u] {
+			lo, hi := baseFringe.offsets[u], baseFringe.offsets[u+1]
+			targets = append(targets, baseFringe.targets[lo:hi]...)
+			from = append(from, baseFrom[lo:hi]...)
+			offsets[u+1] = int32(len(targets))
+			continue
+		}
+		gRow := g.Out(NodeID(u))
+		i := 0
+		for _, v := range gp.Out(NodeID(u)) {
+			if i < len(gRow) && gRow[i] == v {
+				i++
+				continue
+			}
+			targets = append(targets, v)
+			from = append(from, NodeID(u))
+		}
+		offsets[u+1] = int32(len(targets))
+	}
+	fringe := &Graph{n: n, directed: true, offsets: offsets, targets: targets}
+	return fringe, from
+}
+
+// newDualPatched assembles an epoch Dual from patched cores without
+// re-running NewDual's validation sweep: subgraph containment holds because
+// both cores were filtered from a validated base by one keep predicate, and
+// source reachability holds because the predicate never rejects a backbone
+// arc. Schedules constructed these invariants; re-proving them per epoch
+// (a BFS plus a full merge re-walk) was a large share of the old swap cost.
+func newDualPatched(g, gp *Graph, source NodeID, fringe *Graph, from []NodeID) *Dual {
+	return &Dual{g: g, gPrime: gp, source: source, fringe: fringe, fringeFrom: from}
 }
 
 // canonArc packs an arc into the fade-coin key: undirected edges use the
@@ -168,7 +239,12 @@ type ChurnSchedule struct {
 	base     *Dual
 	epochLen int
 	pDown    float64
-	backbone map[uint64]struct{}
+	backbone *backboneTree
+	// inPrime is the in-adjacency of the base G'. An epoch differs from the
+	// base only in the CSR rows of down nodes and of nodes with an arc TO a
+	// down node, so this is the reverse index that turns the down set into
+	// the dirty-row set. For undirected bases Transpose returns G' itself.
+	inPrime *Graph
 }
 
 // NewChurn builds a churn schedule over base with the given epoch length in
@@ -180,7 +256,13 @@ func NewChurn(base *Dual, epochLen int, pDown float64) (*ChurnSchedule, error) {
 	if pDown < 0 || pDown > 1 {
 		return nil, fmt.Errorf("churn: down probability %v outside [0,1]", pDown)
 	}
-	return &ChurnSchedule{base: base, epochLen: epochLen, pDown: pDown, backbone: backboneArcs(base)}, nil
+	return &ChurnSchedule{
+		base:     base,
+		epochLen: epochLen,
+		pDown:    pDown,
+		backbone: newBackboneTree(base),
+		inPrime:  base.GPrime().Transpose(),
+	}, nil
 }
 
 // N returns the node count.
@@ -215,16 +297,30 @@ func (s *ChurnSchedule) Epoch(e int, runSeed int64) (*Dual, error) {
 		// EdgeIDs — byte-identical to the rebuilt Dual).
 		return s.base, nil
 	}
+	// A row u changes only if u is down (its whole row is filtered) or u has
+	// an arc to a down node. G ⊆ G', so the G'-in-adjacency covers the dirty
+	// rows of both cores; epoch cost is proportional to the down set and its
+	// neighbourhood, not to n.
+	dirty := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if !down[v] {
+			continue
+		}
+		dirty[v] = true
+		for _, u := range s.inPrime.Out(NodeID(v)) {
+			dirty[u] = true
+		}
+	}
 	keep := func(u, v NodeID) bool {
 		if !down[u] && !down[v] {
 			return true
 		}
-		_, ok := s.backbone[packArc(u, v)]
-		return ok
+		return s.backbone.has(u, v)
 	}
-	g := rebuildFiltered(s.base.G(), keep)
-	gp := rebuildFiltered(s.base.GPrime(), keep)
-	return NewDualGraphs(g, gp, src)
+	g := filterRowsPatched(s.base.G(), dirty, keep)
+	gp := filterRowsPatched(s.base.GPrime(), dirty, keep)
+	fringe, from := subtractPatched(gp, g, s.base.fringe, s.base.fringeFrom, dirty)
+	return newDualPatched(g, gp, src, fringe, from), nil
 }
 
 // FadeSchedule models link fading: in every epoch after the first, each
@@ -237,7 +333,7 @@ type FadeSchedule struct {
 	base     *Dual
 	epochLen int
 	pFade    float64
-	backbone map[uint64]struct{}
+	backbone *backboneTree
 }
 
 // NewFade builds a fading schedule over base with the given epoch length in
@@ -249,7 +345,7 @@ func NewFade(base *Dual, epochLen int, pFade float64) (*FadeSchedule, error) {
 	if pFade < 0 || pFade > 1 {
 		return nil, fmt.Errorf("fade: fade probability %v outside [0,1]", pFade)
 	}
-	return &FadeSchedule{base: base, epochLen: epochLen, pFade: pFade, backbone: backboneArcs(base)}, nil
+	return &FadeSchedule{base: base, epochLen: epochLen, pFade: pFade, backbone: newBackboneTree(base)}, nil
 }
 
 // N returns the node count.
@@ -270,29 +366,39 @@ func (s *FadeSchedule) Epoch(e int, runSeed int64) (*Dual, error) {
 	seed := EpochSeed(runSeed, e)
 	bg := s.base.G()
 	keep := func(u, v NodeID) bool {
-		if _, ok := s.backbone[packArc(u, v)]; ok {
+		if s.backbone.has(u, v) {
 			return true
 		}
 		return unitHash(seed, fadeTag, canonArc(u, v, bg.Directed())) >= s.pFade
 	}
-	// Pre-scan: if no edge fades this epoch, the rebuilt dual would be
-	// structurally the base (same arc sets, same dense EdgeIDs), so return
-	// the base core without rebuilding. Coin evaluation is pure, so the
-	// rebuild below re-draws identical outcomes.
-	faded := false
-	for u := 0; u < bg.N() && !faded; u++ {
+	// One coin scan finds the faded arcs — and hence the dirty rows — before
+	// anything is built. If no edge fades, the epoch is structurally the base
+	// (same arc sets, same dense EdgeIDs): return the base core. Otherwise
+	// the patched filter below re-draws identical outcomes (coins are pure),
+	// and only the rows that lost an arc are re-filtered; an undirected edge's
+	// reverse orientation flips the same canonical coin in its own row's scan,
+	// so both endpoint rows get flagged.
+	var dirty []bool
+	anyFaded := false
+	for u := 0; u < bg.N(); u++ {
 		for _, v := range bg.Out(NodeID(u)) {
-			if !keep(NodeID(u), v) {
-				faded = true
-				break
+			if keep(NodeID(u), v) {
+				continue
 			}
+			if !anyFaded {
+				anyFaded = true
+				dirty = make([]bool, bg.N())
+			}
+			dirty[u] = true
 		}
 	}
-	if !faded {
+	if !anyFaded {
 		return s.base, nil
 	}
-	g := rebuildFiltered(bg, keep)
-	return NewDualGraphs(g, s.base.GPrime(), s.base.Source())
+	g := filterRowsPatched(bg, dirty, keep)
+	gp := s.base.GPrime()
+	fringe, from := subtractPatched(gp, g, s.base.fringe, s.base.fringeFrom, dirty)
+	return newDualPatched(g, gp, s.base.Source(), fringe, from), nil
 }
 
 // WaypointSchedule models random-waypoint mobility over the geometric

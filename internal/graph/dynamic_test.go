@@ -307,3 +307,111 @@ func TestEpochSeedDecorrelates(t *testing.T) {
 		t.Fatal("EpochSeed ignores the run seed")
 	}
 }
+
+// rebuildReference re-freezes a base core through the Builder the way the
+// pre-incremental schedules did: every arc of every row re-filtered, re-sorted,
+// re-deduplicated. The incremental patch path must be structurally
+// indistinguishable from this, down to fringe EdgeID order.
+func rebuildReference(base *Graph, keep func(u, v NodeID) bool) *Graph {
+	b := NewBuilder(base.N(), base.Directed())
+	for u := 0; u < base.N(); u++ {
+		for _, v := range base.Out(NodeID(u)) {
+			if keep(NodeID(u), v) {
+				b.addArc(NodeID(u), v)
+			}
+		}
+	}
+	return b.Freeze()
+}
+
+// fringeEqual compares the unreliable fringes including EdgeID order: id k
+// must name the same (from, to) arc in both duals.
+func fringeEqual(a, b *Dual) bool {
+	if !graphEqual(a.fringe, b.fringe) || len(a.fringeFrom) != len(b.fringeFrom) {
+		return false
+	}
+	for i := range a.fringeFrom {
+		if a.fringeFrom[i] != b.fringeFrom[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEpochPatchingMatchesFullRebuild pins the incremental epoch-swap path
+// (dirty-row CSR patching, no validation BFS) against a full Builder→Freeze→
+// NewDualGraphs rebuild with the same keep predicates, for churn and fade on
+// undirected and directed bases. Structural identity here is what keeps the
+// simulator's dynamic goldens byte-identical across the optimization.
+func TestEpochPatchingMatchesFullRebuild(t *testing.T) {
+	directed, err := DirectedLayered([]int{4, 5, 4, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bases := map[string]*Dual{"undirected": testBase(t), "directed": directed}
+	const runSeed = 7
+	for name, base := range bases {
+		churn, err := NewChurn(base, 3, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fade, err := NewFade(base, 3, 0.35)
+		if err != nil {
+			t.Fatal(err)
+		}
+		backbone := newBackboneTree(base)
+		for e := 1; e <= 16; e++ {
+			seed := EpochSeed(runSeed, e)
+
+			// Churn reference: recompute the down set and rebuild both cores.
+			down := make([]bool, base.N())
+			for v := 0; v < base.N(); v++ {
+				if NodeID(v) != base.Source() && unitHash(seed, churnTag, uint64(v)) < 0.3 {
+					down[v] = true
+				}
+			}
+			keepChurn := func(u, v NodeID) bool {
+				if !down[u] && !down[v] {
+					return true
+				}
+				return backbone.has(u, v)
+			}
+			wantChurn, err := NewDualGraphs(
+				rebuildReference(base.G(), keepChurn),
+				rebuildReference(base.GPrime(), keepChurn),
+				base.Source())
+			if err != nil {
+				t.Fatalf("%s churn reference epoch %d: %v", name, e, err)
+			}
+			gotChurn, err := churn.Epoch(e, runSeed)
+			if err != nil {
+				t.Fatalf("%s churn epoch %d: %v", name, e, err)
+			}
+			if !dualEqual(gotChurn, wantChurn) || !fringeEqual(gotChurn, wantChurn) {
+				t.Fatalf("%s churn epoch %d: patched dual differs from full rebuild", name, e)
+			}
+
+			// Fade reference: rebuild G only; G' is shared with the base.
+			keepFade := func(u, v NodeID) bool {
+				if backbone.has(u, v) {
+					return true
+				}
+				return unitHash(seed, fadeTag, canonArc(u, v, base.G().Directed())) >= 0.35
+			}
+			wantFade, err := NewDualGraphs(rebuildReference(base.G(), keepFade), base.GPrime(), base.Source())
+			if err != nil {
+				t.Fatalf("%s fade reference epoch %d: %v", name, e, err)
+			}
+			gotFade, err := fade.Epoch(e, runSeed)
+			if err != nil {
+				t.Fatalf("%s fade epoch %d: %v", name, e, err)
+			}
+			if !dualEqual(gotFade, wantFade) || !fringeEqual(gotFade, wantFade) {
+				t.Fatalf("%s fade epoch %d: patched dual differs from full rebuild", name, e)
+			}
+			if gotFade != base && gotFade.GPrime() != base.GPrime() {
+				t.Fatalf("%s fade epoch %d: G' no longer aliases the base core", name, e)
+			}
+		}
+	}
+}

@@ -230,6 +230,36 @@ func (g *Graph) HasEdge(u, v NodeID) bool {
 	return ok
 }
 
+// Transpose returns the graph with every arc reversed, in CSR form with
+// sorted rows. An undirected graph stores both orientations of every edge and
+// is its own transpose, so the receiver itself is returned; only directed
+// graphs pay for the O(n + m) counting-sort rebuild. The result is frozen and
+// shares no mutable state with the receiver.
+func (g *Graph) Transpose() *Graph {
+	if !g.directed {
+		return g
+	}
+	offsets := make([]int32, g.n+1)
+	for _, v := range g.targets {
+		offsets[v+1]++
+	}
+	for i := 0; i < g.n; i++ {
+		offsets[i+1] += offsets[i]
+	}
+	targets := make([]NodeID, len(g.targets))
+	cursor := make([]int32, g.n)
+	copy(cursor, offsets[:g.n])
+	// Walking sources in ascending order fills each reversed row already
+	// sorted, because row v receives its in-neighbours u in increasing u.
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.Out(NodeID(u)) {
+			targets[cursor[v]] = NodeID(u)
+			cursor[v]++
+		}
+	}
+	return &Graph{n: g.n, directed: true, offsets: offsets, targets: targets}
+}
+
 // MaxInDegree returns the maximum in-degree over all nodes.
 func (g *Graph) MaxInDegree() int {
 	in := make([]int, g.n)

@@ -433,3 +433,40 @@ func math01(x float64) float64 {
 	}
 	return x
 }
+
+func TestTranspose(t *testing.T) {
+	d, err := DirectedLayered([]int{2, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d.G()
+	tr := g.Transpose()
+	if !tr.Directed() || tr.N() != g.N() || tr.NumEdges() != g.NumEdges() {
+		t.Fatalf("transpose shape mismatch")
+	}
+	for u := 0; u < g.N(); u++ {
+		row := tr.Out(NodeID(u))
+		for i, v := range row {
+			if i > 0 && row[i-1] >= v {
+				t.Fatalf("transpose row %d not strictly sorted", u)
+			}
+			if !g.HasEdge(v, NodeID(u)) {
+				t.Fatalf("transpose has %d->%d but base lacks %d->%d", u, v, v, u)
+			}
+		}
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Out(NodeID(u)) {
+			if !tr.HasEdge(v, NodeID(u)) {
+				t.Fatalf("base has %d->%d but transpose lacks %d->%d", u, v, v, u)
+			}
+		}
+	}
+	ub := NewBuilder(3, false)
+	ub.MustAddEdge(0, 1)
+	ub.MustAddEdge(1, 2)
+	und := ub.Freeze()
+	if und.Transpose() != und {
+		t.Fatal("undirected transpose should return the receiver")
+	}
+}

@@ -107,3 +107,81 @@ func TestLargeScaleRoundLoopAllocationFree(t *testing.T) {
 		t.Fatalf("steady-state rounds allocate: %d extra mallocs over 700 rounds", extra)
 	}
 }
+
+// TestLargeScaleDynamicAllocationBounded extends the 100k-node stress path
+// to dynamic schedules: under churn and fade the steady-state rounds must
+// stay allocation-free and only epoch boundaries may allocate, bounded by a
+// fixed per-swap budget (the incremental epoch patch allocates a handful of
+// arrays per epoch — down/dirty masks, patched CSR cores, the fringe — never
+// anything proportional to the round count). Skipped under -short with the
+// static stress test; the full CI test lane runs it.
+func TestLargeScaleDynamicAllocationBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-node dynamic stress sim skipped in -short mode")
+	}
+	const (
+		n        = 100_000
+		epochLen = 50
+		// Per-swap allocation budget: the incremental churn epoch costs ~12
+		// graph-side allocations (masks, two patched cores, fringe, dual)
+		// plus the simulator's in-degree re-scan; fade slightly fewer. A full
+		// Builder→Freeze rebuild costs hundreds per epoch at this scale.
+		perEpochBudget = 48
+	)
+	d, err := graph.Geometric(n, 0.004, 0.009, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	alg, err := core.NewUniform(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := adversary.NewRandom(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedules := map[string]graph.Schedule{}
+	if churn, err := graph.NewChurn(d, epochLen, 0.0001); err != nil {
+		t.Fatal(err)
+	} else {
+		schedules["churn"] = churn
+	}
+	if fade, err := graph.NewFade(d, epochLen, 0.00002); err != nil {
+		t.Fatal(err)
+	} else {
+		schedules["fade"] = fade
+	}
+	for name, sched := range schedules {
+		t.Run(name, func(t *testing.T) {
+			measure := func(rounds int) uint64 {
+				var before, after runtime.MemStats
+				runtime.GC()
+				runtime.ReadMemStats(&before)
+				_, err := sim.RunDynamic(sched, alg, adv, sim.Config{
+					Rule:           sim.CR3,
+					Start:          sim.AsyncStart,
+					Seed:           7,
+					MaxRounds:      rounds,
+					RunToMaxRounds: true,
+				})
+				runtime.ReadMemStats(&after)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return after.Mallocs - before.Mallocs
+			}
+			// Both runs pay identical setup; the difference isolates 400
+			// extra rounds containing 8 extra epoch swaps.
+			baseAllocs := measure(200)
+			fullAllocs := measure(600)
+			extra := int64(fullAllocs) - int64(baseAllocs)
+			extraEpochs := int64((600 - 200) / epochLen)
+			budget := extraEpochs*perEpochBudget + 100
+			if extra > budget {
+				t.Fatalf("%s: %d extra mallocs over 400 rounds / %d epochs (budget %d): epoch swaps are not allocation-bounded",
+					name, extra, extraEpochs, budget)
+			}
+		})
+	}
+}

@@ -8,10 +8,10 @@ import (
 
 // TestEnsureCapacityNoAliasingAcrossSwaps is the epoch-boundary buffer
 // invariant: after swapping to an epoch with larger G' in-degrees the
-// reaching rows must be rebuilt (an old row would overflow its slot in the
-// flat backing array), after which filling every row to its new bound keeps
-// all rows disjoint — no reaching-set aliasing. Swapping to a smaller epoch
-// must keep the existing buffers (the lazy half of the resize).
+// unreliable-delivery rows must be rebuilt (an old row would overflow its
+// slot in the flat backing array), after which filling every row to its new
+// bound keeps all rows disjoint — no delivery-list aliasing. Swapping to a
+// smaller epoch must keep the existing buffers (the lazy half of the resize).
 func TestEnsureCapacityNoAliasingAcrossSwaps(t *testing.T) {
 	const n = 9
 	small, err := graph.Line(n)
@@ -24,38 +24,41 @@ func TestEnsureCapacityNoAliasingAcrossSwaps(t *testing.T) {
 	}
 
 	buf := newRunBuffers(small)
-	smallCaps := make([]int, n)
-	for v := range smallCaps {
-		smallCaps[v] = cap(buf.reaching[v])
-		if smallCaps[v] >= n {
-			t.Fatalf("line row %d capacity %d already fits the complete graph; test setup broken", v, smallCaps[v])
+	wasDense := buf.dense
+	for v := 0; v < n; v++ {
+		if cap(buf.unrel[v]) >= n-1 {
+			t.Fatalf("line row %d capacity %d already fits the complete graph; test setup broken", v, cap(buf.unrel[v]))
 		}
 	}
-	// Dirty the buffers like a round would, then reset (the loop resets
+	// Dirty the buffers like a round would, then clear (the loop clears
 	// before any swap).
-	buf.addReaching(0, 1)
-	buf.addReaching(2, 1)
-	buf.reset()
+	sent := make([]bool, n)
+	buf.addUnrel(0, 1)
+	buf.addUnrel(2, 1)
+	buf.clearRound(sent)
 
-	// Grow swap: line -> complete. Every row must now hold in-degree+1 = n
-	// senders.
+	// Grow swap: line -> complete. Every row must now hold in-degree = n-1
+	// unreliable deliveries.
 	buf.ensureCapacity(big)
+	if buf.dense != wasDense {
+		t.Fatal("rebuild changed the per-run delivery mode")
+	}
 	for v := 0; v < n; v++ {
-		if got := cap(buf.reaching[v]); got < n {
-			t.Fatalf("after grow swap, row %d capacity %d < %d", v, got, n)
+		if got := cap(buf.unrel[v]); got < n-1 {
+			t.Fatalf("after grow swap, row %d capacity %d < %d", v, got, n-1)
 		}
 	}
 	// Fill every row to its model bound and verify no row sees another's
 	// writes.
 	for v := 0; v < n; v++ {
-		for s := 0; s < n; s++ {
-			buf.addReaching(graph.NodeID(v), graph.NodeID(v*100+s)) // sentinel value unique per (row, slot)
+		for s := 0; s < n-1; s++ {
+			buf.addUnrel(graph.NodeID(v), graph.NodeID(v*100+s)) // sentinel unique per (row, slot)
 		}
 	}
 	for v := 0; v < n; v++ {
-		row := buf.reaching[v]
-		if len(row) != n {
-			t.Fatalf("row %d has %d entries, want %d", v, len(row), n)
+		row := buf.unrel[v]
+		if len(row) != n-1 {
+			t.Fatalf("row %d has %d entries, want %d", v, len(row), n-1)
 		}
 		for s, got := range row {
 			if want := graph.NodeID(v*100 + s); got != want {
@@ -63,19 +66,19 @@ func TestEnsureCapacityNoAliasingAcrossSwaps(t *testing.T) {
 			}
 		}
 	}
-	buf.reset()
+	buf.clearRound(sent)
 
 	// Shrink swap: complete -> line. Capacities suffice, so the buffers are
 	// kept as-is (lazy: no rebuild).
 	bigCaps := make([]int, n)
 	for v := range bigCaps {
-		bigCaps[v] = cap(buf.reaching[v])
+		bigCaps[v] = cap(buf.unrel[v])
 	}
 	buf.ensureCapacity(small)
 	for v := 0; v < n; v++ {
-		if cap(buf.reaching[v]) != bigCaps[v] {
+		if cap(buf.unrel[v]) != bigCaps[v] {
 			t.Fatalf("shrink swap rebuilt row %d (cap %d -> %d); resize should be lazy",
-				v, bigCaps[v], cap(buf.reaching[v]))
+				v, bigCaps[v], cap(buf.unrel[v]))
 		}
 	}
 	if buf.sizedFor != small.GPrime() {
@@ -93,4 +96,165 @@ func TestEnsureCapacityNoAliasingAcrossSwaps(t *testing.T) {
 	if buf.sizedFor != small.GPrime() {
 		t.Fatal("shared-core fast path re-sized the buffers")
 	}
+}
+
+// sparseFixture returns a dual large and thin enough to take the sparse
+// delivery path.
+func sparseFixture(t *testing.T) *graph.Dual {
+	t.Helper()
+	d, err := graph.Line(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestDeliveryModeChoice pins the per-run mode decision: small dense
+// networks go word-parallel, large or thin ones stay per-edge.
+func TestDeliveryModeChoice(t *testing.T) {
+	dense, err := graph.CliqueBridge(65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := newRunBuffers(dense); !b.dense {
+		t.Error("clique-bridge(65) should use the dense mask mode")
+	}
+	if b := newRunBuffers(sparseFixture(t)); b.dense {
+		t.Error("line(80) should use the sparse bitset mode")
+	}
+}
+
+// TestReachBitsetsCountClasses exercises the sparse-mode count-class
+// transitions that replaced per-node sender lists: one delivery makes a node
+// reached with a recoverable single sender, a second collides it, and
+// clearRound returns the bitsets (and only the touched words) to zero.
+func TestReachBitsetsCountClasses(t *testing.T) {
+	d := sparseFixture(t)
+	buf := newRunBuffers(d)
+	sent := make([]bool, d.N())
+
+	const v, s1, s2 = 70, 3, 5 // v in the second word: both words must reset
+	buf.addReach(v, s1)
+	if !buf.reached(v) || buf.collided(v) {
+		t.Fatal("one delivery: want reached, not collided")
+	}
+	if got := buf.singleReacher(v); got != s1 {
+		t.Fatalf("singleReacher = %d, want %d", got, s1)
+	}
+	buf.addReach(v, s2)
+	if !buf.reached(v) || !buf.collided(v) {
+		t.Fatal("two deliveries: want reached and collided")
+	}
+	buf.addUnrel(9, s1)
+	if !buf.reached(9) || buf.collided(9) {
+		t.Fatal("one unreliable delivery: want reached, not collided")
+	}
+	if got := buf.singleReacher(9); got != s1 {
+		t.Fatalf("unreliable singleReacher = %d, want %d", got, s1)
+	}
+	// A duplicate unreliable delivery along the same arc is a collision (the
+	// legacy list was [s, s], length two).
+	buf.addUnrel(9, s1)
+	if !buf.collided(9) {
+		t.Fatal("duplicate unreliable delivery must collide")
+	}
+
+	buf.clearRound(sent)
+	for w, x := range buf.reach1 {
+		if x != 0 || buf.reach2[w] != 0 {
+			t.Fatalf("word %d not cleared: reach1=%x reach2=%x", w, x, buf.reach2[w])
+		}
+	}
+	if len(buf.touchedW) != 0 || len(buf.unrelTouched) != 0 {
+		t.Fatal("touched lists not truncated")
+	}
+	if len(buf.unrel[9]) != 0 {
+		t.Fatal("unrel row not truncated")
+	}
+}
+
+// TestClearRoundUnmarksOnlySenders pins the O(senders) sent-clear: clearRound
+// must unset exactly the previous round's sender flags (an O(n) wipe per
+// round is what it replaced) and truncate the sender list.
+func TestClearRoundUnmarksOnlySenders(t *testing.T) {
+	d := sparseFixture(t)
+	n := d.N()
+	buf := newRunBuffers(d)
+	sent := make([]bool, n)
+	for _, s := range []graph.NodeID{2, 41, 77} {
+		sent[s] = true
+		buf.senders = append(buf.senders, s)
+	}
+	buf.clearRound(sent)
+	for i, f := range sent {
+		if f {
+			t.Fatalf("sent[%d] still set after clearRound", i)
+		}
+	}
+	if len(buf.senders) != 0 {
+		t.Fatal("sender list not truncated")
+	}
+}
+
+// TestMaterializeReachingOrder pins the lazy CR4 list order against the
+// legacy per-edge append order in both modes: reliable senders ascending
+// (the reliable pass visited senders in ascending node order), then
+// unreliable deliveries in sink-add order.
+func TestMaterializeReachingOrder(t *testing.T) {
+	check := func(t *testing.T, d *graph.Dual, senders []graph.NodeID, target graph.NodeID) {
+		t.Helper()
+		buf := newRunBuffers(d)
+		if !buf.dense {
+			buf.ensureInRows(d.G())
+		}
+		sent := make([]bool, d.N())
+		want := []graph.NodeID{}
+		for _, s := range senders {
+			sent[s] = true
+			buf.senders = append(buf.senders, s)
+			if buf.dense {
+				buf.deliverDense(s)
+			} else {
+				buf.addReach(s, s)
+				for _, v := range d.ReliableOut(s) {
+					buf.addReach(v, s)
+				}
+			}
+			if d.G().HasEdge(s, target) {
+				want = append(want, s)
+			}
+		}
+		// Two unreliable deliveries out of ascending-sender order: they must
+		// come last, in add order.
+		unrel := []graph.NodeID{}
+		for _, s := range senders {
+			if d.HasUnreliableEdge(s, target) {
+				unrel = append(unrel, s)
+			}
+		}
+		for i := len(unrel) - 1; i >= 0; i-- {
+			buf.addUnrel(target, unrel[i])
+			want = append(want, unrel[i])
+		}
+		got := buf.materializeReaching(target, sent)
+		if len(got) != len(want) {
+			t.Fatalf("materialized %v, want %v", got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("materialized %v, want %v", got, want)
+			}
+		}
+	}
+
+	dense, err := graph.CliqueBridge(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target 3 is a non-sender inside the clique; senders reach it reliably.
+	check(t, dense, []graph.NodeID{1, 4, 9}, 3)
+
+	sparse := sparseFixture(t)
+	// Line: node 10's reliable in-neighbours are 9 and 11.
+	check(t, sparse, []graph.NodeID{9, 11}, 10)
 }

@@ -16,6 +16,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"dualgraph/internal/graph"
@@ -216,6 +217,12 @@ type BufferedDeliverer interface {
 // DeliverySink collects one round's unreliable deliveries into the run's
 // preallocated reachability buffers. It validates every delivery exactly
 // like the map path and latches the first error.
+//
+// At DeliverInto time the sink's reach state holds exactly the round's
+// reliable deliveries (the reliable pass runs first), so Reached, Collided
+// and EachReachedOnce let an adversary read the reliable reception picture
+// word-parallel instead of recounting it edge by edge; each Add folds its
+// delivery into that state immediately.
 type DeliverySink struct {
 	d            *graph.Dual
 	sent         []bool
@@ -241,7 +248,38 @@ func (ds *DeliverySink) Add(s, v graph.NodeID) {
 		ds.err = fmt.Errorf("%w: (%d,%d)", ErrBadDelivery, s, v)
 		return
 	}
-	ds.buf.addReaching(v, s)
+	ds.buf.addUnrel(v, s)
+}
+
+// Reached reports whether at least one message (reliable, or already added
+// unreliable) reaches v this round.
+func (ds *DeliverySink) Reached(v graph.NodeID) bool { return ds.buf.reached(v) }
+
+// Collided reports whether two or more messages reach v this round.
+func (ds *DeliverySink) Collided(v graph.NodeID) bool { return ds.buf.collided(v) }
+
+// EachReachedOnce calls yield for every node v currently reached by exactly
+// one message, in ascending node order, with s the sender of that message;
+// it stops early when yield returns false. The singleton set is computed
+// word-parallel from the reach bitsets (O(n/64) plus the yields), which is
+// what replaced the per-edge recount that jamming adversaries used to do.
+//
+// Deliveries Added during the iteration take effect immediately on the
+// queried state but never change which nodes the current sweep yields: the
+// per-word singleton mask is latched before its bits are walked, and an Add
+// targets only one node's reach row.
+func (ds *DeliverySink) EachReachedOnce(yield func(v, s graph.NodeID) bool) {
+	b := ds.buf
+	for w := range b.reach1 {
+		m := b.reach1[w] &^ b.reach2[w]
+		for m != 0 {
+			v := graph.NodeID(w<<6 + bits.TrailingZeros64(m))
+			m &= m - 1
+			if !yield(v, b.singleReacher(v)) {
+				return
+			}
+		}
+	}
 }
 
 // AddEdgeID records a delivery along the unreliable arc with the given
@@ -261,7 +299,7 @@ func (ds *DeliverySink) AddEdgeID(id graph.EdgeID) {
 		ds.err = fmt.Errorf("%w: node %d did not send", ErrBadDelivery, s)
 		return
 	}
-	ds.buf.addReaching(v, s)
+	ds.buf.addUnrel(v, s)
 }
 
 // Scratch returns two zeroed n-length scratch slices that an adversary may
@@ -302,28 +340,97 @@ func (ds *DeliverySink) addFromMap(m map[graph.NodeID][]graph.NodeID, senders []
 	}
 }
 
-// runBuffers is the preallocated per-run state of the delivery hot path: the
-// per-node reaching lists, a []uint64 bitset marking the nodes reached this
-// round, and the reusable sender/holder slices. All of it is allocated once
-// per run; rounds only reset the entries they actually touched, so the
-// steady-state round loop performs no heap allocation.
+// Dense-mode admission: per-node delivery masks cost n²/8 bytes per
+// direction, so the mode is reserved for networks that are both small
+// (denseMaxN caps the quadratic memory at 2 MiB per mask set) and dense
+// enough that one row of mask words carries more arcs than the word loop
+// costs (arcs ≥ n²/denseArcFactor, i.e. ≥ 2 arcs per 64-bit mask word).
+const (
+	denseMaxN      = 4096
+	denseArcFactor = 32
+)
+
+// runBuffers is the preallocated per-run state of the delivery hot path.
+//
+// The reaching relation of a round is held as two word-parallel bitsets
+// instead of per-node sender lists: reach1 marks nodes reached by at least
+// one message, reach2 nodes reached by two or more (always reach2 ⊆ reach1).
+// Those two bits are everything CR1–CR3 ever ask — silence / delivered /
+// collision is a count class, not a sender list — so the per-edge list
+// appends of the old hot path are gone. The full reaching list of a node is
+// materialized lazily, only where someone actually inspects senders: the
+// CR4 resolve call on a collided non-sender, or an adversary walking the
+// sink. Unreliable deliveries are the one part that stays explicit
+// (adversaries choose them one by one), recorded per node in unrel rows
+// carved from a flat backing sized by G' in-degree.
+//
+// Two modes, chosen once per run from the epoch-0 reliable graph:
+//
+//   - dense (small, dense networks): every node has a precomputed delivery
+//     mask — its reliable out-row plus itself as a bit row — and a sender's
+//     whole delivery is OR-ed into reach1/reach2 a word at a time, turning
+//     ~deg(s) list appends into row/64 word ops. The transposed masks
+//     (inMask) recover single reachers and CR4 lists from sentBit by bit
+//     iteration. Reset is a memclr of n/64-word arrays.
+//   - sparse (everything else): deliveries stay per-edge but touch only the
+//     two bitsets plus firstFrom (the node's first reacher, which is the
+//     whole answer for singleton receptions); reset clears only the words
+//     the round made nonzero (touchedW). CR4 lists are rebuilt from the
+//     reliable in-adjacency (inRows) filtered by sent.
+//
+// All buffers are allocated once per run; the steady-state round loop
+// performs no heap allocation in either mode.
 type runBuffers struct {
-	reaching   [][]graph.NodeID
-	touchedBit []uint64
-	touched    []graph.NodeID
+	n      int
+	reach1 []uint64 // nodes reached by ≥1 message this round
+	reach2 []uint64 // nodes reached by ≥2 messages this round
+
+	// Sparse-mode round state.
+	touchedW  []int32        // words of reach1 made nonzero this round
+	firstFrom []graph.NodeID // first sender reaching v (valid while reach1 bit set)
+
+	// Unreliable deliveries per node, in sink-add order; rows carved from
+	// unrelBacking, sized by G' in-degree (every unreliable arc is a G' arc,
+	// so the bound survives every epoch that shares or shrinks G').
+	unrel        [][]graph.NodeID
+	unrelTouched []graph.NodeID
+
 	senders    []graph.NodeID
 	newHolders []graph.NodeID
-	// sizedFor is the G' core the rows were last sized against; epochs that
-	// share it (fade never changes G') skip the re-scan entirely.
+	mat        []graph.NodeID // lazy reaching-list scratch, reused per resolve
+	// Dense-mode memo of the last materialized row: matKey holds the masked
+	// in-row the current mat was extracted from. Dense networks resolve many
+	// nodes with identical reaching sets per round (every non-sender of a
+	// clique sees the same senders), so a word compare often replaces the
+	// whole bit extraction. Valid only within a round for unrel-free rows.
+	matKey   []uint64
+	matValid bool
+
+	// Dense mode.
+	dense   bool
+	maskW   int          // words per mask row: (n+63)/64
+	outMask []uint64     // row s: ReliableOut(s) ∪ {s} as bits
+	inMask  []uint64     // transpose of outMask (aliases outMask when undirected)
+	sentBit []uint64     // this round's senders as bits
+	maskFor *graph.Graph // the G core the masks encode
+
+	// Sparse-mode CR4 index: in-adjacency of the current G (the graph itself
+	// when undirected), built only when a run under CR4 can need it.
+	inRows    *graph.Graph
+	inRowsFor *graph.Graph
+
+	// sizedFor is the G' core the unrel rows were last sized against; epochs
+	// that share it (fade never changes G') skip the re-scan entirely.
 	sizedFor *graph.Graph
 }
 
-// reachingBound returns the per-node row-sizing model of the delivery
-// buffers: a node can be reached by at most its G' in-neighbours plus its
-// own transmission, so row v must hold reachingBound(d)[v]+1 senders. Both
+// unrelBound returns the per-node sizing of the unreliable-delivery rows: a
+// node can receive unreliable deliveries along at most its G' in-arcs. Both
 // newRunBuffers and ensureCapacity size against exactly this function, so
 // the initial carve and the epoch-swap overflow check can never disagree.
-func reachingBound(d *graph.Dual) []int32 {
+// (A misbehaving adversary delivering the same arc twice in a round merely
+// falls back to an ordinary slice grow.)
+func unrelBound(d *graph.Dual) []int32 {
 	n := d.N()
 	gp := d.GPrime()
 	indeg := make([]int32, n)
@@ -335,84 +442,317 @@ func reachingBound(d *graph.Dual) []int32 {
 	return indeg
 }
 
-// newRunBuffers sizes the per-node reaching lists to their model upper
-// bound (reachingBound) and carves them out of one flat backing array
-// (CSR-style), so the round loop never grows a row no matter the traffic
-// pattern. (A misbehaving adversary delivering the same arc twice in a
-// round merely falls back to an ordinary slice grow.)
+// newRunBuffers builds the per-run buffer set for d, choosing the delivery
+// mode from the epoch-0 reliable graph. The mode is fixed for the run —
+// epochs only refresh the mode's own indexes — so the round loop never
+// re-tests it per round.
 func newRunBuffers(d *graph.Dual) *runBuffers {
 	n := d.N()
-	indeg := reachingBound(d)
+	g := d.G()
+	indeg := unrelBound(d)
 	total := 0
 	for _, c := range indeg {
-		total += int(c) + 1
+		total += int(c)
 	}
 	backing := make([]graph.NodeID, total)
-	reaching := make([][]graph.NodeID, n)
+	unrel := make([][]graph.NodeID, n)
 	off := 0
 	for v := 0; v < n; v++ {
-		end := off + int(indeg[v]) + 1
-		reaching[v] = backing[off:off:end]
+		end := off + int(indeg[v])
+		unrel[v] = backing[off:off:end]
 		off = end
 	}
-	return &runBuffers{
-		reaching:   reaching,
-		touchedBit: make([]uint64, (n+63)/64),
-		touched:    make([]graph.NodeID, 0, n),
-		senders:    make([]graph.NodeID, 0, n),
-		newHolders: make([]graph.NodeID, 0, n),
-		sizedFor:   d.GPrime(),
+	words := (n + 63) / 64
+	b := &runBuffers{
+		n:            n,
+		reach1:       make([]uint64, words),
+		reach2:       make([]uint64, words),
+		unrel:        unrel,
+		unrelTouched: make([]graph.NodeID, 0, n),
+		senders:      make([]graph.NodeID, 0, n),
+		newHolders:   make([]graph.NodeID, 0, n),
+		dense:        n <= denseMaxN && g.NumEdges()*denseArcFactor >= n*n,
+		sizedFor:     d.GPrime(),
 	}
+	if b.dense {
+		b.maskW = words
+		b.sentBit = make([]uint64, words)
+		b.matKey = make([]uint64, words)
+		b.buildMasks(g)
+	} else {
+		b.touchedW = make([]int32, 0, words)
+		b.firstFrom = make([]graph.NodeID, n)
+	}
+	return b
+}
+
+// buildMasks (re)computes the dense-mode delivery masks for reliable graph
+// g: outMask row s is s's one-round reliable delivery set (out-row plus s
+// itself), inMask its transpose. Undirected graphs are their own transpose,
+// so both names share one array. Called at run start and again at any epoch
+// swap that changes the G core.
+func (b *runBuffers) buildMasks(g *graph.Graph) {
+	if b.maskFor == g {
+		return
+	}
+	size := b.n * b.maskW
+	if b.outMask == nil {
+		b.outMask = make([]uint64, size)
+	} else {
+		clear(b.outMask)
+	}
+	for u := 0; u < b.n; u++ {
+		row := b.outMask[u*b.maskW : (u+1)*b.maskW]
+		row[u>>6] |= 1 << (uint(u) & 63)
+		for _, v := range g.Out(graph.NodeID(u)) {
+			row[v>>6] |= 1 << (uint64(v) & 63)
+		}
+	}
+	if !g.Directed() {
+		b.inMask = b.outMask
+	} else {
+		if b.inMask == nil || &b.inMask[0] == &b.outMask[0] {
+			b.inMask = make([]uint64, size)
+		} else {
+			clear(b.inMask)
+		}
+		for u := 0; u < b.n; u++ {
+			row := b.inMask[u*b.maskW : (u+1)*b.maskW]
+			row[u>>6] |= 1 << (uint(u) & 63)
+		}
+		for u := 0; u < b.n; u++ {
+			ubit := uint64(1) << (uint(u) & 63)
+			uw := u >> 6
+			for _, v := range g.Out(graph.NodeID(u)) {
+				b.inMask[int(v)*b.maskW+uw] |= ubit
+			}
+		}
+	}
+	b.maskFor = g
+}
+
+// ensureInRows (re)points the sparse-mode CR4 in-adjacency at the current
+// reliable graph. Undirected graphs are their own transpose so this is a
+// pointer copy; directed dynamic runs pay a counting-sort rebuild per
+// changed epoch.
+func (b *runBuffers) ensureInRows(g *graph.Graph) {
+	if b.inRowsFor == g {
+		return
+	}
+	b.inRows = g.Transpose()
+	b.inRowsFor = g
 }
 
 // ensureCapacity adapts the buffers to a new epoch's network at an epoch
-// swap. Reaching rows are carved from one flat backing array sized by G'
-// in-degree+1; when every row of the new network fits in its existing
-// capacity the buffers are kept as they are (the caller resets them at the
-// top of the round), and any row that would overflow rebuilds the whole
-// buffer set against the new network — the lazy resize that guarantees
-// reaching rows never alias across epochs while epochs with shrinking or
-// stable in-degrees pay nothing.
+// swap. When every unrel row of the new network fits its existing capacity
+// the buffers are kept (the caller resets them at the top of the round); any
+// row that would overflow rebuilds the buffer set against the new network —
+// the lazy resize that guarantees rows never alias across epochs while
+// epochs with shrinking or stable in-degrees pay nothing.
 func (b *runBuffers) ensureCapacity(d *graph.Dual) {
 	if d.GPrime() == b.sizedFor {
 		// Same frozen G' core, same in-degree bound: nothing to scan.
 		return
 	}
-	indeg := reachingBound(d)
+	indeg := unrelBound(d)
 	for v := 0; v < d.N(); v++ {
-		if int(indeg[v])+1 > cap(b.reaching[v]) {
-			*b = *newRunBuffers(d)
+		if int(indeg[v]) > cap(b.unrel[v]) {
+			nb := newRunBuffers(d)
+			// The mode is a per-run decision made against epoch 0; keep it
+			// (and any already-built indexes) so the loop shape never changes
+			// mid-run.
+			nb.dense = b.dense
+			if nb.dense && nb.sentBit == nil {
+				nb.maskW = (nb.n + 63) / 64
+				nb.sentBit = make([]uint64, nb.maskW)
+				nb.matKey = make([]uint64, nb.maskW)
+			}
+			nb.outMask, nb.inMask, nb.maskFor = b.outMask, b.inMask, b.maskFor
+			nb.inRows, nb.inRowsFor = b.inRows, b.inRowsFor
+			if nb.firstFrom == nil && !nb.dense {
+				nb.firstFrom = make([]graph.NodeID, nb.n)
+			}
+			*b = *nb
 			return
 		}
 	}
 	b.sizedFor = d.GPrime()
 }
 
-// reset clears exactly the state the previous round touched.
-func (b *runBuffers) reset() {
-	for _, v := range b.touched {
-		b.touchedBit[v>>6] &^= 1 << (uint64(v) & 63)
-		b.reaching[v] = b.reaching[v][:0]
+// clearRound resets the round state, un-marking the previous round's senders
+// in sent rather than wiping all n entries. Dense mode clears whole bitset
+// arrays (n/64 words, a memclr); sparse mode clears only the words the
+// previous round made nonzero. Idempotent: a second call finds nothing to
+// clear.
+func (b *runBuffers) clearRound(sent []bool) {
+	if b.dense {
+		clear(b.reach1)
+		clear(b.reach2)
+		clear(b.sentBit)
+		b.matValid = false
+	} else {
+		for _, w := range b.touchedW {
+			b.reach1[w] = 0
+			b.reach2[w] = 0
+		}
+		b.touchedW = b.touchedW[:0]
 	}
-	b.touched = b.touched[:0]
+	for _, v := range b.unrelTouched {
+		b.unrel[v] = b.unrel[v][:0]
+	}
+	b.unrelTouched = b.unrelTouched[:0]
+	for _, s := range b.senders {
+		sent[s] = false
+	}
 	b.senders = b.senders[:0]
 	b.newHolders = b.newHolders[:0]
 }
 
 func (b *runBuffers) reached(v graph.NodeID) bool {
-	return b.touchedBit[v>>6]&(1<<(uint64(v)&63)) != 0
+	return b.reach1[v>>6]&(1<<(uint64(v)&63)) != 0
 }
 
-// addReaching appends sender s to v's reaching list, registering v in the
-// touched set on first contact so reset stays proportional to the round's
-// actual traffic.
-func (b *runBuffers) addReaching(v, s graph.NodeID) {
-	w, bit := v>>6, uint64(1)<<(uint64(v)&63)
-	if b.touchedBit[w]&bit == 0 {
-		b.touchedBit[w] |= bit
-		b.touched = append(b.touched, v)
+func (b *runBuffers) collided(v graph.NodeID) bool {
+	return b.reach2[v>>6]&(1<<(uint64(v)&63)) != 0
+}
+
+// deliverDense ORs sender s's whole reliable delivery mask into the reach
+// bitsets: one pass of word ops replaces deg(s)+1 per-edge updates. A bit
+// already in reach1 is promoted into reach2, which is exactly the ≥2 count
+// class (a single sender's mask never repeats a bit).
+func (b *runBuffers) deliverDense(s graph.NodeID) {
+	row := b.outMask[int(s)*b.maskW : (int(s)+1)*b.maskW]
+	for w, mw := range row {
+		if mw == 0 {
+			continue
+		}
+		r1 := b.reach1[w]
+		b.reach2[w] |= r1 & mw
+		b.reach1[w] = r1 | mw
 	}
-	b.reaching[v] = append(b.reaching[v], s)
+	b.sentBit[s>>6] |= 1 << (uint64(s) & 63)
+}
+
+// addReach records one sparse-mode reliable delivery from s to v: first
+// contact sets the reach1 bit and remembers s as the singleton answer,
+// repeat contact promotes the bit into reach2. Words are registered in
+// touchedW on their 0→nonzero transition so reset stays proportional to the
+// round's actual traffic.
+func (b *runBuffers) addReach(v, s graph.NodeID) {
+	w, bit := int(v>>6), uint64(1)<<(uint64(v)&63)
+	r1 := b.reach1[w]
+	if r1&bit == 0 {
+		if r1 == 0 {
+			b.touchedW = append(b.touchedW, int32(w))
+		}
+		b.reach1[w] = r1 | bit
+		b.firstFrom[v] = s
+	} else {
+		b.reach2[w] |= bit
+	}
+}
+
+// addUnrel records an unreliable delivery from s to v: the reach bits update
+// like a reliable delivery and the pair lands in v's unrel row, preserving
+// sink-add order for lazy materialization.
+func (b *runBuffers) addUnrel(v, s graph.NodeID) {
+	w, bit := int(v>>6), uint64(1)<<(uint64(v)&63)
+	r1 := b.reach1[w]
+	if r1&bit == 0 {
+		if !b.dense {
+			if r1 == 0 {
+				b.touchedW = append(b.touchedW, int32(w))
+			}
+			b.firstFrom[v] = s
+		}
+		b.reach1[w] = r1 | bit
+	} else {
+		b.reach2[w] |= bit
+	}
+	if len(b.unrel[v]) == 0 {
+		b.unrelTouched = append(b.unrelTouched, v)
+	}
+	b.unrel[v] = append(b.unrel[v], s)
+}
+
+// singleReacher returns the sender of the one message reaching v; the caller
+// guarantees v's count class is exactly one. Sparse mode recorded the answer
+// at delivery time; dense mode recovers it as the only bit of v's in-mask
+// ANDed with the sender bitset, falling back to the lone unreliable delivery.
+func (b *runBuffers) singleReacher(v graph.NodeID) graph.NodeID {
+	if !b.dense {
+		return b.firstFrom[v]
+	}
+	row := b.inMask[int(v)*b.maskW : (int(v)+1)*b.maskW]
+	for w, mw := range row {
+		if m := mw & b.sentBit[w]; m != 0 {
+			return graph.NodeID(w<<6 + bits.TrailingZeros64(m))
+		}
+	}
+	return b.unrel[v][0]
+}
+
+// materializeReaching rebuilds the full reaching list of non-sender v in the
+// order the old per-edge path produced it — reliable senders ascending, then
+// unreliable deliveries in sink-add order — into a scratch slice that is
+// reused on the next call. Only CR4 resolves and sink walks pay this; the
+// count-class rules never do. sent is the round's sender flags (sparse mode
+// filters the in-row with it; dense mode has sentBit).
+func (b *runBuffers) materializeReaching(v graph.NodeID, sent []bool) []graph.NodeID {
+	if b.dense {
+		row := b.inMask[int(v)*b.maskW : (int(v)+1)*b.maskW]
+		if len(b.unrel[v]) == 0 {
+			// Memo fast path: same masked in-row as the previous unrel-free
+			// materialization → same reaching list.
+			if b.matValid {
+				same := true
+				for w, mw := range row {
+					if mw&b.sentBit[w] != b.matKey[w] {
+						same = false
+						break
+					}
+				}
+				if same {
+					return b.mat
+				}
+			}
+			mat := b.mat[:0]
+			for w, mw := range row {
+				m := mw & b.sentBit[w]
+				b.matKey[w] = m
+				for m != 0 {
+					mat = append(mat, graph.NodeID(w<<6+bits.TrailingZeros64(m)))
+					m &= m - 1
+				}
+			}
+			b.mat = mat
+			b.matValid = true
+			return mat
+		}
+		b.matValid = false
+		mat := b.mat[:0]
+		for w, mw := range row {
+			m := mw & b.sentBit[w]
+			for m != 0 {
+				mat = append(mat, graph.NodeID(w<<6+bits.TrailingZeros64(m)))
+				m &= m - 1
+			}
+		}
+		mat = append(mat, b.unrel[v]...)
+		b.mat = mat
+		return mat
+	}
+	mat := b.mat[:0]
+	{
+		for _, u := range b.inRows.Out(v) {
+			if sent[u] {
+				mat = append(mat, u)
+			}
+		}
+	}
+	mat = append(mat, b.unrel[v]...)
+	b.mat = mat
+	return mat
 }
 
 // Config parameterizes a run.
@@ -561,6 +901,9 @@ func RunDynamic(sched graph.Schedule, alg Algorithm, adv Adversary, cfg Config) 
 		Rng:        advRng,
 	}
 	buf := newRunBuffers(d)
+	if !buf.dense && cfg.Rule == CR4 {
+		buf.ensureInRows(d.G())
+	}
 	sink := &DeliverySink{
 		d:            d,
 		sent:         sent,
@@ -568,121 +911,64 @@ func RunDynamic(sched graph.Schedule, alg Algorithm, adv Adversary, cfg Config) 
 		scratchInts:  make([]int, n),
 		scratchNodes: make([]graph.NodeID, n),
 	}
+	st := &runState{
+		cfg:    cfg,
+		sched:  sched,
+		adv:    adv,
+		d:      d,
+		n:      n,
+		src:    src,
+		procs:  procs,
+		procOf: procOf,
+		hasMsg: hasMsg,
+		active: active,
+		sent:   sent,
+		view:   view,
+		buf:    buf,
+		sink:   sink,
+		res:    res,
+
+		firstRecv: firstRecv,
+		holders:   1,
+	}
 	// Resolve the fast path once: the type assertion must not sit in the
 	// round loop.
-	buffered, _ := adv.(BufferedDeliverer)
+	st.buffered, _ = adv.(BufferedDeliverer)
 
-	epochLen := sched.EpochLength()
-	holders := 1
-	for round := 1; round <= cfg.MaxRounds; round++ {
-		view.Round = round
-		buf.reset()
-		if epochLen > 0 && round > 1 && (round-1)%epochLen == 0 {
-			// Epoch boundary: swap in the next frozen network. The swap
-			// happens after reset, so the buffers carry no round state; rows
-			// are kept when the new epoch fits and rebuilt when it does not.
-			e := (round - 1) / epochLen
-			nd, err := sched.Epoch(e, cfg.Seed)
-			if err != nil {
-				return nil, fmt.Errorf("schedule epoch %d: %w", e, err)
-			}
-			if nd.N() != n {
-				return nil, fmt.Errorf("%w: epoch %d has %d nodes, run started with %d",
-					ErrBadEpoch, e, nd.N(), n)
-			}
-			if nd.Source() != src {
-				return nil, fmt.Errorf("%w: epoch %d moved the source to %d, run started at %d",
-					ErrBadEpoch, e, nd.Source(), src)
-			}
-			if nd != d {
-				// Identical-pointer epochs (no-op churn/fade draws, cached
-				// epochs, the static wrap) skip the swap entirely, keeping
-				// the round loop allocation-free.
-				d = nd
-				view.Dual = d
-				sink.d = d
-				buf.ensureCapacity(d)
-			}
-		}
-		for i := range sent {
-			sent[i] = false
-		}
-		for node := 0; node < n; node++ {
-			if active[node] && procs[node].Decide(round) {
-				sent[node] = true
-				buf.senders = append(buf.senders, graph.NodeID(node))
-			}
-		}
-		senders := buf.senders
-		res.Transmissions += len(senders)
-		if cfg.RecordSenders {
-			pids := make([]int, len(senders))
-			for i, s := range senders {
-				pids[i] = procOf[s]
-			}
-			res.SendersByRound = append(res.SendersByRound, pids)
-		}
-
-		// Reliable reachability pass: a sender's message reaches itself and
-		// every reliable out-neighbour unconditionally.
-		for _, s := range senders {
-			buf.addReaching(s, s)
-			for _, v := range d.ReliableOut(s) {
-				buf.addReaching(v, s)
-			}
-		}
-		// Unreliable deliveries: adversary's choice, validated by the sink.
-		if len(senders) > 0 {
-			sink.err = nil
-			if buffered != nil {
-				buffered.DeliverInto(view, senders, sink)
-			} else {
-				sink.addFromMap(adv.Deliver(view, senders), senders)
-			}
-			if sink.err != nil {
-				return nil, sink.err
-			}
-		}
-
-		// senderHadMsg is evaluated against the start-of-round holder set;
-		// hasMsg is only updated after all receptions are computed.
-		for node := 0; node < n; node++ {
-			if !active[node] && !buf.reached(graph.NodeID(node)) {
-				// An inactive node that nothing reached hears silence and
-				// cannot wake: skip it entirely.
-				continue
-			}
-			rec, err := computeReception(cfg.Rule, adv, view, graph.NodeID(node), sent[node], buf.reaching[node], procOf, hasMsg)
-			if err != nil {
+	// The epoch branch is hoisted out of the round loop: a static run
+	// (EpochLength 0 — every sim.Run) executes a loop body with no schedule
+	// test at all, so threading dynamics through the engine costs the static
+	// hot path nothing. Both loops share the same clearRound + step body.
+	if epochLen := sched.EpochLength(); epochLen == 0 {
+		for round := 1; round <= cfg.MaxRounds; round++ {
+			buf.clearRound(sent)
+			if err := st.step(round); err != nil {
 				return nil, err
 			}
-			if rec.Kind == Delivered && rec.Broadcast && !rec.Own && !hasMsg[node] {
-				buf.newHolders = append(buf.newHolders, graph.NodeID(node))
-			}
-			switch {
-			case active[node]:
-				procs[node].Receive(round, rec)
-			case rec.Kind == Delivered && cfg.Start == AsyncStart:
-				// Asynchronous activation: the process wakes on its first
-				// received message and observes that reception.
-				procs[node].Start(round, false)
-				active[node] = true
-				procs[node].Receive(round, rec)
+			if st.holders == n && !cfg.RunToMaxRounds {
+				break
 			}
 		}
-		for _, node := range buf.newHolders {
-			hasMsg[node] = true
-			firstRecv[node] = round
-			holders++
-		}
-
-		res.Rounds = round
-		if holders == n && !cfg.RunToMaxRounds {
-			break
+	} else {
+		for round := 1; round <= cfg.MaxRounds; round++ {
+			// The swap happens after clearRound, so the buffers carry no
+			// round state across the boundary.
+			buf.clearRound(sent)
+			if round > 1 && (round-1)%epochLen == 0 {
+				if err := st.swapEpoch((round - 1) / epochLen); err != nil {
+					return nil, err
+				}
+			}
+			if err := st.step(round); err != nil {
+				return nil, err
+			}
+			if st.holders == n && !cfg.RunToMaxRounds {
+				break
+			}
 		}
 	}
 
-	res.Completed = holders == n
+	res.Completed = st.holders == n
 	if res.Completed && !cfg.RunToMaxRounds {
 		// Rounds is the completion round: the max first-receive round.
 		maxRecv := 0
@@ -696,74 +982,211 @@ func RunDynamic(sched graph.Schedule, alg Algorithm, adv Adversary, cfg Config) 
 	return res, nil
 }
 
-func computeReception(
-	rule CollisionRule,
-	adv Adversary,
-	view *View,
-	node graph.NodeID,
-	isSender bool,
-	reaching []graph.NodeID,
-	procOf []int,
-	hasMsg []bool,
-) (Reception, error) {
-	deliverFrom := func(s graph.NodeID) Reception {
-		return Reception{
-			Kind:      Delivered,
-			From:      s,
-			FromProc:  procOf[s],
-			Broadcast: hasMsg[s],
-			Own:       s == node,
+// runState bundles the per-run execution state so the static and dynamic
+// round loops can share one step body without re-capturing a dozen locals.
+type runState struct {
+	cfg       Config
+	sched     graph.Schedule
+	adv       Adversary
+	buffered  BufferedDeliverer
+	d         *graph.Dual
+	n         int
+	src       graph.NodeID
+	procs     []Process
+	procOf    []int
+	hasMsg    []bool
+	active    []bool
+	sent      []bool
+	firstRecv []int
+	view      *View
+	buf       *runBuffers
+	sink      *DeliverySink
+	res       *Result
+	holders   int
+}
+
+// swapEpoch installs the schedule's network for epoch e. Identical-pointer
+// epochs (no-op churn/fade draws, cached epochs) skip the swap entirely,
+// keeping the round loop allocation-free.
+func (st *runState) swapEpoch(e int) error {
+	nd, err := st.sched.Epoch(e, st.cfg.Seed)
+	if err != nil {
+		return fmt.Errorf("schedule epoch %d: %w", e, err)
+	}
+	if nd.N() != st.n {
+		return fmt.Errorf("%w: epoch %d has %d nodes, run started with %d",
+			ErrBadEpoch, e, nd.N(), st.n)
+	}
+	if nd.Source() != st.src {
+		return fmt.Errorf("%w: epoch %d moved the source to %d, run started at %d",
+			ErrBadEpoch, e, nd.Source(), st.src)
+	}
+	if nd == st.d {
+		return nil
+	}
+	st.d = nd
+	st.view.Dual = nd
+	st.sink.d = nd
+	st.buf.ensureCapacity(nd)
+	// Refresh the mode's own index against the (possibly) new G core; both
+	// are keyed on the core pointer, so epochs that only change G' (never
+	// the case for the built-in schedules) or return to a cached core pay a
+	// pointer compare.
+	if st.buf.dense {
+		st.buf.buildMasks(nd.G())
+	} else if st.cfg.Rule == CR4 {
+		st.buf.ensureInRows(nd.G())
+	}
+	return nil
+}
+
+// step executes one round against the current network: decide, deliver
+// (word-parallel in dense mode), then compute receptions from the count-class
+// bitsets. It assumes clearRound ran first.
+func (st *runState) step(round int) error {
+	st.view.Round = round
+	buf, d, n := st.buf, st.d, st.n
+	sent, active, procs := st.sent, st.active, st.procs
+	for node := 0; node < n; node++ {
+		if active[node] && procs[node].Decide(round) {
+			sent[node] = true
+			buf.senders = append(buf.senders, graph.NodeID(node))
 		}
 	}
-	own := func() Reception {
-		return Reception{
-			Kind:      Delivered,
-			From:      node,
-			FromProc:  procOf[node],
-			Broadcast: hasMsg[node],
-			Own:       true,
+	senders := buf.senders
+	st.res.Transmissions += len(senders)
+	if st.cfg.RecordSenders {
+		pids := make([]int, len(senders))
+		for i, s := range senders {
+			pids[i] = st.procOf[s]
+		}
+		st.res.SendersByRound = append(st.res.SendersByRound, pids)
+	}
+
+	// Reliable reachability pass: a sender's message reaches itself and
+	// every reliable out-neighbour unconditionally.
+	if buf.dense {
+		for _, s := range senders {
+			buf.deliverDense(s)
+		}
+	} else {
+		for _, s := range senders {
+			buf.addReach(s, s)
+			for _, v := range d.ReliableOut(s) {
+				buf.addReach(v, s)
+			}
+		}
+	}
+	// Unreliable deliveries: adversary's choice, validated by the sink.
+	if len(senders) > 0 {
+		st.sink.err = nil
+		if st.buffered != nil {
+			st.buffered.DeliverInto(st.view, senders, st.sink)
+		} else {
+			st.sink.addFromMap(st.adv.Deliver(st.view, senders), senders)
+		}
+		if st.sink.err != nil {
+			return st.sink.err
 		}
 	}
 
-	switch rule {
-	case CR1:
-		switch len(reaching) {
-		case 0:
+	// Receptions come straight off the count-class bitsets; reaching lists
+	// are materialized only for CR4 resolves. Broadcast/Own are evaluated
+	// against the start-of-round holder set; hasMsg is only updated after
+	// all receptions are computed.
+	hasMsg := st.hasMsg
+	for node := 0; node < n; node++ {
+		v := graph.NodeID(node)
+		reached := buf.reached(v)
+		if !active[node] && !reached {
+			// An inactive node that nothing reached hears silence and
+			// cannot wake: skip it entirely.
+			continue
+		}
+		rec, err := st.reception(v, reached)
+		if err != nil {
+			return err
+		}
+		if rec.Kind == Delivered && rec.Broadcast && !rec.Own && !hasMsg[node] {
+			buf.newHolders = append(buf.newHolders, v)
+		}
+		switch {
+		case active[node]:
+			procs[node].Receive(round, rec)
+		case rec.Kind == Delivered && st.cfg.Start == AsyncStart:
+			// Asynchronous activation: the process wakes on its first
+			// received message and observes that reception.
+			procs[node].Start(round, false)
+			active[node] = true
+			procs[node].Receive(round, rec)
+		}
+	}
+	for _, node := range buf.newHolders {
+		hasMsg[node] = true
+		st.firstRecv[node] = round
+		st.holders++
+	}
+	st.res.Rounds = round
+	return nil
+}
+
+// deliverFrom builds the Delivered reception node observes for sender s.
+func (st *runState) deliverFrom(node, s graph.NodeID) Reception {
+	return Reception{
+		Kind:      Delivered,
+		From:      s,
+		FromProc:  st.procOf[s],
+		Broadcast: st.hasMsg[s],
+		Own:       s == node,
+	}
+}
+
+// reception computes what node hears this round from its count class (not
+// reached / reached once / collided) under the configured collision rule.
+func (st *runState) reception(node graph.NodeID, reached bool) (Reception, error) {
+	buf := st.buf
+	rule := st.cfg.Rule
+	if rule == CR1 {
+		switch {
+		case !reached:
 			return Reception{Kind: Silence}, nil
-		case 1:
-			return deliverFrom(reaching[0]), nil
+		case !buf.collided(node):
+			return st.deliverFrom(node, buf.singleReacher(node)), nil
 		default:
 			return Reception{Kind: Collision}, nil
 		}
-	case CR2, CR3, CR4:
-		if isSender {
-			return own(), nil
-		}
-		switch len(reaching) {
-		case 0:
-			return Reception{Kind: Silence}, nil
-		case 1:
-			return deliverFrom(reaching[0]), nil
-		}
-		switch rule {
-		case CR2:
-			return Reception{Kind: Collision}, nil
-		case CR3:
-			return Reception{Kind: Silence}, nil
-		default: // CR4
-			choice := adv.Resolve(view, node, reaching)
-			if choice == NoDelivery {
-				return Reception{Kind: Silence}, nil
-			}
-			for _, s := range reaching {
-				if s == choice {
-					return deliverFrom(s), nil
-				}
-			}
-			return Reception{}, fmt.Errorf("%w: node %d chose %d", ErrBadResolve, node, choice)
-		}
 	}
-	return Reception{}, fmt.Errorf("unknown collision rule %v", rule)
+	if rule != CR2 && rule != CR3 && rule != CR4 {
+		return Reception{}, fmt.Errorf("unknown collision rule %v", rule)
+	}
+	if st.sent[node] {
+		// A sender always receives its own message under CR2–CR4.
+		return st.deliverFrom(node, node), nil
+	}
+	switch {
+	case !reached:
+		return Reception{Kind: Silence}, nil
+	case !buf.collided(node):
+		return st.deliverFrom(node, buf.singleReacher(node)), nil
+	}
+	switch rule {
+	case CR2:
+		return Reception{Kind: Collision}, nil
+	case CR3:
+		return Reception{Kind: Silence}, nil
+	default: // CR4
+		reaching := buf.materializeReaching(node, st.sent)
+		choice := st.adv.Resolve(st.view, node, reaching)
+		if choice == NoDelivery {
+			return Reception{Kind: Silence}, nil
+		}
+		for _, s := range reaching {
+			if s == choice {
+				return st.deliverFrom(node, s), nil
+			}
+		}
+		return Reception{}, fmt.Errorf("%w: node %d chose %d", ErrBadResolve, node, choice)
+	}
 }
 
 func validateAssignment(procOf []int, n int) error {

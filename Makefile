@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check staticcheck test test-short race serve-smoke bench-smoke bench-json bench-compare docs-registry docs-check ci
+.PHONY: all build vet fmt-check staticcheck test test-short race serve-smoke resume-smoke bench-smoke bench-json bench-compare docs-registry docs-check ci
 
 all: build
 
@@ -52,39 +52,51 @@ race:
 serve-smoke:
 	$(GO) test -run TestServeSmoke -count=1 -v ./cmd/dgsimd/
 
+# Crash-recovery smoke over the real binaries: SIGKILL a checkpointing dgsim
+# mid-grid and byte-diff the resumed output against an uninterrupted run at
+# workers 1/2/8 (TestKillAndResumeByteIdentical), then drive a coordinator
+# job with two real `dgsimd -worker` processes plus one orphaned claim and
+# byte-diff the streamed results against the local engine (TestWorkerSmoke).
+resume-smoke:
+	$(GO) test -run 'TestKillAndResumeByteIdentical|TestResumeRejectsEditedSpec' -count=1 -v ./cmd/dgsim/
+	$(GO) test -run TestWorkerSmoke -count=1 -v ./cmd/dgsimd/
+
 # A fast benchmark pass: the engine speedup pair and the allocation-free
 # round loop, a few iterations each.
 bench-smoke:
 	$(GO) test -run NONE -bench 'BenchmarkEngine|BenchmarkSimRoundLoop' -benchtime 3x .
 
-# The perf-trajectory artifact: hot-path, reducer, grid, graph-layer, and
-# dynamics benchmarks parsed into BENCH_pr7.json (benchmark name -> ns/op,
-# B/op, allocs/op, custom metrics). The 'BenchmarkEngine' pattern covers
-# both the slice path (EngineSequential/Parallel) and the streaming reducer
-# (EngineReduceSequential/Parallel); 'BenchmarkSimRoundLoop' also matches
-# the Static/Dynamic pair that brackets the hoisted round loop;
+# The perf-trajectory artifact: hot-path, reducer, grid, graph-layer,
+# dynamics, and checkpoint benchmarks parsed into BENCH_pr8.json (benchmark
+# name -> ns/op, B/op, allocs/op, custom metrics). The 'BenchmarkEngine'
+# pattern covers both the slice path (EngineSequential/Parallel) and the
+# streaming reducer (EngineReduceSequential/Parallel); 'BenchmarkSimRoundLoop'
+# also matches the Static/Dynamic pair that brackets the hoisted round loop;
 # 'BenchmarkGridSweep' captures cross-cell parallel throughput of the
 # declarative grid runner vs sequential cells; 'BenchmarkEpochSwap' also
-# matches the EpochSwapIncremental/pDown=* churn-scaling series. CI uploads
-# the file so the trend is comparable across PRs.
+# matches the EpochSwapIncremental/pDown=* churn-scaling series;
+# 'BenchmarkCheckpoint' is the fsync-per-record write + recover round trip
+# behind -checkpoint/-resume. CI uploads the file so the trend is comparable
+# across PRs.
 bench-json:
-	$(GO) test -run NONE -bench 'BenchmarkEngine|BenchmarkSimRoundLoop|BenchmarkGridSweep|BenchmarkEpochSwap|BenchmarkDynamicSweep' -benchmem -benchtime 3x . > bench_raw.txt
+	$(GO) test -run NONE -bench 'BenchmarkEngine|BenchmarkSimRoundLoop|BenchmarkGridSweep|BenchmarkEpochSwap|BenchmarkDynamicSweep|BenchmarkCheckpoint' -benchmem -benchtime 3x . > bench_raw.txt
 	$(GO) test -run NONE -bench 'BenchmarkGraphConstruction|BenchmarkUnreliableMembership|BenchmarkGeometricBuild100k|BenchmarkPreferentialAttachmentBuild100k' -benchmem -benchtime 3x ./internal/graph/ >> bench_raw.txt
-	$(GO) run ./cmd/benchjson < bench_raw.txt > BENCH_pr7.json
+	$(GO) run ./cmd/benchjson < bench_raw.txt > BENCH_pr8.json
 	@rm -f bench_raw.txt
-	@echo "wrote BENCH_pr7.json"
+	@echo "wrote BENCH_pr8.json"
 
 # Regression gate over the trajectory artifact: compare the fresh
-# BENCH_pr7.json against a baseline report (CI fetches the previous run's
+# BENCH_pr8.json against a baseline report (CI fetches the previous run's
 # artifact into $(BENCH_BASELINE); locally point it at any saved report) and
 # fail on a >10% ns/op regression in the gated round-loop and epoch-swap
-# benchmarks. Skipped with a notice when no baseline exists (first run,
+# benchmarks. Benchmarks absent from the baseline are informational "new",
+# never failures. Skipped with a notice when no baseline exists (first run,
 # artifact expired) — absence of a baseline must not mask absence of the
 # gate, so the skip prints loudly.
 BENCH_BASELINE ?= BENCH_baseline.json
 bench-compare: bench-json
 	@if [ -f "$(BENCH_BASELINE)" ]; then \
-		$(GO) run ./cmd/benchcmp -old "$(BENCH_BASELINE)" -new BENCH_pr7.json; \
+		$(GO) run ./cmd/benchcmp -old "$(BENCH_BASELINE)" -new BENCH_pr8.json; \
 	else \
 		echo "bench-compare: no baseline at $(BENCH_BASELINE); skipping regression gate"; \
 	fi
@@ -108,4 +120,4 @@ docs-check: docs-registry
 	@git diff --exit-code docs/REGISTRY.md || \
 		{ echo "docs/REGISTRY.md drifted from the registry tables; commit the regenerated file"; exit 1; }
 
-ci: build vet fmt-check staticcheck docs-check test race serve-smoke
+ci: build vet fmt-check staticcheck docs-check test race serve-smoke resume-smoke

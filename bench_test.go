@@ -9,7 +9,9 @@
 package dualgraph_test
 
 import (
+	"context"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"testing"
 
@@ -725,4 +727,72 @@ func BenchmarkDynamicSweepSequential(b *testing.B) {
 // worker per CPU; the summary is bit-identical to the sequential run.
 func BenchmarkDynamicSweepParallel(b *testing.B) {
 	benchDynamicSweep(b, runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkCheckpointWriteRestore measures the full checkpoint round trip a
+// resumed sweep pays: append every (cell, shard) record of a grid (fsync per
+// record — crash safety is the point), then recover the file and build the
+// engine seed map. The accumulator itself is folded once outside the timer;
+// the benchmark isolates the persistence layer.
+func BenchmarkCheckpointWriteRestore(b *testing.B) {
+	const (
+		cells  = 4
+		trials = 64
+	)
+	n := 17
+	d, err := graph.Geometric(n, 0.28, 0.7, dualgraph.NewRand(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	alg, err := core.NewHarmonicForN(n, 0.02)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound := int(4 * float64(n*alg.T) * stats.HarmonicNumber(n))
+	simCfg := sim.Config{Rule: sim.CR4, Start: sim.AsyncStart, Seed: 1, MaxRounds: bound}
+	shards := dualgraph.ShardsOf(trials)
+	sc := engine.StreamConfig{ExactK: 8}
+	// One folded single-trial shard, reused for every unit: the records are
+	// shaped exactly like a real checkpoint's without re-running the grid.
+	sum, err := dualgraph.FoldShard(context.Background(),
+		engine.Trial{Net: d, Alg: alg, Adv: adversary.GreedyCollider{}, Cfg: simCfg}, 0, 1, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := make([]dualgraph.CheckpointRecord, 0, cells*shards)
+	for c := 0; c < cells; c++ {
+		for s := 0; s < shards; s++ {
+			lo, hi := dualgraph.ShardRange(trials, s)
+			recs = append(recs, dualgraph.CheckpointRecord{
+				Cell: c, Shard: s, TrialLo: lo, TrialHi: hi, Summary: sum,
+			})
+		}
+	}
+	meta := dualgraph.CheckpointMetaFor("bench", cells, trials, sc)
+	path := filepath.Join(b.TempDir(), "bench.ckpt")
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := dualgraph.CreateCheckpoint(path, meta)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range recs {
+			if err := w.Append(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		got, _, err := dualgraph.RecoverCheckpoint(path, meta)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if seed := dualgraph.CheckpointSeed(got); len(seed) != cells*shards {
+			b.Fatalf("recovered %d units, want %d", len(seed), cells*shards)
+		}
+	}
+	b.ReportMetric(float64(cells*shards), "records/op")
 }

@@ -93,9 +93,13 @@ func run(args []string, w io.Writer) error {
 		newV, inNew := newRep[name][*metric]
 		switch {
 		case !inOld:
-			fmt.Fprintf(w, "%-56s (no baseline, not gated)  new %s = %.4g\n", name, *metric, newV)
+			fmt.Fprintf(w, "%-56s new (no baseline, not gated)  %s = %.4g\n", name, *metric, newV)
 		case !inNew:
 			fmt.Fprintf(w, "%-56s (absent from candidate, not gated)\n", name)
+		case oldV == 0:
+			// A zero baseline admits no fractional comparison: 0 -> anything
+			// would read as an infinite regression. Report, don't gate.
+			fmt.Fprintf(w, "%-56s %s 0 -> %.4g  (zero baseline, not gated)\n", name, *metric, newV)
 		default:
 			delta := (newV - oldV) / oldV
 			verdict := "ok"

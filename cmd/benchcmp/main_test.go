@@ -101,6 +101,30 @@ func TestNewBenchmarkWithoutBaselinePasses(t *testing.T) {
 	}
 }
 
+func TestZeroBaselineMetricNotGated(t *testing.T) {
+	// A metric that was 0 in the baseline (e.g. allocs/op of an
+	// allocation-free loop) admits no fractional comparison; it must be
+	// reported informationally, never as an infinite regression.
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(oldPath, []byte(
+		`{"benchmarks":[{"name":"BenchmarkSimRoundLoop","metrics":{"allocs/op":0}}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(
+		`{"benchmarks":[{"name":"BenchmarkSimRoundLoop","metrics":{"allocs/op":2}}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-old", oldPath, "-new", newPath, "-metric", "allocs/op"}, &out); err != nil {
+		t.Fatalf("zero baseline must not gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "zero baseline") {
+		t.Fatalf("zero-baseline metric should be labelled:\n%s", out.String())
+	}
+}
+
 func TestNoMatchesIsAnError(t *testing.T) {
 	oldPath := writeReport(t, "old.json", map[string]float64{"BenchmarkGridSweep": 100})
 	newPath := writeReport(t, "new.json", map[string]float64{"BenchmarkGridSweep": 100})

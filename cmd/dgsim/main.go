@@ -36,6 +36,7 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 
 	"dualgraph"
@@ -85,6 +86,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		workers   = fs.Int("workers", 0, "trial engine worker count (0 = one per CPU)")
 		stream    = fs.Bool("stream", false, "aggregate trials with the streaming reducer (memory bounded at any -trials; quantiles exact up to the spill threshold, P² estimates beyond)")
 		specPath  = fs.String("spec", "", "run the declarative sweep in this JSON file instead of the cell flags")
+		ckptPath  = fs.String("checkpoint", "", "with -spec: append every completed (cell, shard) accumulator to this file as the grid runs, so a killed run can -resume it")
+		resume    = fs.String("resume", "", "with -spec: restore completed shards from this checkpoint file (skipping their work), keep appending to it, and reproduce the full output byte-identically")
 		list      = fs.Bool("list", false, "print registered topologies/algorithms/adversaries/schedules with parameter docs, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -111,13 +114,19 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		dualgraph.WriteRegistry(w)
 		return nil
 	}
+	if *ckptPath != "" && *resume != "" {
+		return fmt.Errorf("use -checkpoint to start a checkpoint file and -resume to continue one (a resumed run keeps appending to the same file); the flags are mutually exclusive")
+	}
+	if *specPath == "" && (*ckptPath != "" || *resume != "") {
+		return fmt.Errorf("-checkpoint and -resume apply to -spec sweeps only")
+	}
 	if *specPath != "" {
 		// The spec file is the whole experiment; reject explicitly-set cell
 		// flags instead of silently ignoring them.
 		conflict := ""
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "spec", "workers":
+			case "spec", "workers", "checkpoint", "resume":
 			default:
 				conflict = f.Name
 			}
@@ -125,7 +134,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		if conflict != "" {
 			return fmt.Errorf("-spec runs a self-contained sweep file; drop -%s", conflict)
 		}
-		return runSpec(ctx, w, *specPath, *workers)
+		return runSpec(ctx, w, *specPath, *workers, *ckptPath, *resume)
 	}
 
 	if startRule(*start) == 0 {
@@ -244,7 +253,14 @@ func schedSuffix(sched string) string {
 // prints per cell — streamed in cell order as cells complete, so an
 // interrupted run leaves a valid prefix of the full output. The whole
 // output is bit-identical at any -workers value.
-func runSpec(ctx context.Context, w io.Writer, path string, workers int) error {
+//
+// With ckptPath every completed (cell, shard) accumulator is appended to a
+// crash-safe checkpoint file the moment it finishes; with resumePath the
+// file's intact records are restored (their trials never re-run, any torn
+// tail from the crash is truncated away, fresh shards keep appending) and
+// the full output — including the already-checkpointed cells — reprints
+// byte-identically to an uninterrupted run.
+func runSpec(ctx context.Context, w io.Writer, path string, workers int, ckptPath, resumePath string) error {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -261,9 +277,63 @@ func runSpec(ctx context.Context, w io.Writer, path string, workers int) error {
 	if trials == 0 {
 		trials = 1
 	}
+
+	sc := dualgraph.StreamConfig{}
+	var (
+		seed    map[dualgraph.ShardKey]*dualgraph.TrialSummary
+		writer  *dualgraph.CheckpointWriter
+		onShard func(dualgraph.ShardState)
+	)
+	if ckptPath != "" || resumePath != "" {
+		hash, err := sw.Hash()
+		if err != nil {
+			return err
+		}
+		meta := dualgraph.CheckpointMetaFor(hash, len(cells), trials, sc)
+		if resumePath != "" {
+			recs, wr, err := dualgraph.ResumeCheckpoint(resumePath, meta)
+			if err != nil {
+				return err
+			}
+			seed = dualgraph.CheckpointSeed(recs)
+			writer = wr
+		} else {
+			wr, err := dualgraph.CreateCheckpoint(ckptPath, meta)
+			if err != nil {
+				return err
+			}
+			writer = wr
+		}
+		defer writer.Close()
+		// Append from worker goroutines; a failing write aborts nothing
+		// mid-run (results stay correct without the checkpoint) but is
+		// reported once the sweep returns.
+		var mu sync.Mutex
+		var appendErr error
+		onShard = func(st dualgraph.ShardState) {
+			err := writer.Append(dualgraph.CheckpointRecord{
+				Cell: st.Cell, Shard: st.Shard,
+				TrialLo: st.TrialLo, TrialHi: st.TrialHi,
+				Summary: st.Summary,
+			})
+			if err != nil {
+				mu.Lock()
+				if appendErr == nil {
+					appendErr = err
+				}
+				mu.Unlock()
+			}
+		}
+		defer func() {
+			if appendErr != nil {
+				printError(os.Stderr, fmt.Errorf("checkpoint incomplete: %w", appendErr))
+			}
+		}()
+	}
+
 	fmt.Fprintf(w, "grid: cells=%d trials-per-cell=%d\n", len(cells), trials)
 	printed := 0
-	_, err = sw.Stream(ctx, dualgraph.EngineConfig{Workers: workers}, dualgraph.StreamConfig{},
+	_, err = sw.StreamFrom(ctx, dualgraph.EngineConfig{Workers: workers}, sc, seed, onShard,
 		func(cr dualgraph.CellResult) {
 			fmt.Fprintf(w, "%s: %s\n", cr.Cell.Label, dualgraph.FormatSummary(cr.Summary))
 			printed++

@@ -6,6 +6,20 @@
 //
 //	dgsimd -addr :8080 -workers 8
 //
+// With -worker the same binary runs in worker mode instead: it attaches to
+// a coordinator dgsimd's job (one submitted with "mode": "coordinator") and
+// repeatedly claims (cell, shard) work units over the shard claim/report
+// API, folds each unit's trials with the engine's exact per-shard loop, and
+// reports the serialized accumulator back. Workers are fungible and
+// crash-safe: a killed worker's leased unit returns to the pool when its
+// lease expires, and the coordinator's merged results stay byte-identical
+// to a single-process run regardless of worker count or deaths.
+//
+//	# coordinator job: units run on remote workers, not the local pool
+//	curl -s localhost:8080/v1/jobs -d '{"sweep":{"base":{"n":17},"seeds":[1,2,3],"trials":1000},"mode":"coordinator"}'
+//	# any number of workers, anywhere:
+//	dgsimd -worker -coordinator http://localhost:8080 -job job-000001
+//
 //	# submit a job (absent versions read as v1)
 //	curl -s localhost:8080/v1/jobs -d '{"sweep":{"base":{"n":17},"seeds":[1,2,3],"trials":1000}}'
 //	# follow its results as they complete (JSON lines; add
@@ -53,12 +67,28 @@ func run(args []string) error {
 		workers    = fs.Int("workers", 0, "shared trial pool size (0 = one per CPU); never changes results, only throughput")
 		queue      = fs.Int("queue", 64, "max queued jobs before submissions get 429")
 		drainGrace = fs.Duration("drain-grace", time.Minute, "max time to wait for the running shard and open streams on shutdown")
+
+		workerMode  = fs.Bool("worker", false, "run as a remote worker for a coordinator job instead of serving")
+		coordinator = fs.String("coordinator", "", "worker mode: base URL of the coordinator dgsimd (e.g. http://host:8080)")
+		jobID       = fs.String("job", "", "worker mode: id of the coordinator job to work on")
+		poll        = fs.Duration("poll", 250*time.Millisecond, "worker mode: back-off between claim attempts when all units are leased")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if !*workerMode && (*coordinator != "" || *jobID != "") {
+		return errors.New("-coordinator and -job only apply with -worker")
+	}
 
 	logger := log.New(os.Stderr, "dgsimd: ", log.LstdFlags)
+	if *workerMode {
+		if *coordinator == "" || *jobID == "" {
+			return errors.New("-worker requires -coordinator and -job")
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		return runWorker(ctx, logger, *coordinator, *jobID, *poll)
+	}
 	svc := service.New(service.Config{
 		Engine:     engine.Config{Workers: *workers},
 		QueueLimit: *queue,

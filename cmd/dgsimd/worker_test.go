@@ -1,0 +1,184 @@
+// The coordinator/worker smoke: a real dgsimd server, a coordinator-mode
+// job, an orphaned claim (the "dead worker"), and two real `dgsimd -worker`
+// processes draining the unit pool. The streamed results must be
+// byte-identical to the same sweep run on the server's local engine.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// coordSweep is the job both paths run: 3 cells × 40 trials.
+const coordSweep = `{"base":{"n":13},"seeds":[1,2,3],"trials":40}`
+
+// postJob submits a job envelope and returns its id.
+func postJob(t *testing.T, base, body string) string {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated || st.ID == "" {
+		t.Fatalf("submit: status %d, id %q", resp.StatusCode, st.ID)
+	}
+	return st.ID
+}
+
+// resultLines streams a job's results to the done line and returns the raw
+// cell lines (label + summary) in delivery order.
+func resultLines(t *testing.T, base, id string) []string {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line struct {
+			Done    bool   `json:"done"`
+			State   string `json:"state"`
+			Label   string `json:"label"`
+			Summary string `json:"summary"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		if line.Done {
+			if line.State != "done" {
+				t.Fatalf("job %s ended %q", id, line.State)
+			}
+			return lines
+		}
+		lines = append(lines, line.Label+": "+line.Summary)
+	}
+	t.Fatalf("stream for %s ended without a done line", id)
+	return nil
+}
+
+func TestWorkerSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary smoke test skipped in -short mode")
+	}
+
+	bin := filepath.Join(t.TempDir(), "dgsimd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	srv := exec.Command(bin, "-addr", "127.0.0.1:0")
+	stderr, err := srv.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = srv.Process.Kill()
+		_ = srv.Wait()
+	}()
+
+	var base string
+	sc := bufio.NewScanner(stderr)
+	if sc.Scan() {
+		line := sc.Text()
+		i := strings.Index(line, "listening on ")
+		if i < 0 {
+			t.Fatalf("first log line is not the listen handshake: %q", line)
+		}
+		base = "http://" + strings.TrimSpace(line[i+len("listening on "):])
+	} else {
+		t.Fatal("dgsimd never printed its listen address")
+	}
+	go func() { // drain the rest of the server log
+		for sc.Scan() {
+		}
+	}()
+
+	// Reference: the sweep on the server's local engine.
+	localID := postJob(t, base, `{"sweep":`+coordSweep+`}`)
+	want := resultLines(t, base, localID)
+
+	// The coordinator job, with a short lease so the orphaned claim below
+	// returns to the pool while the workers drain it.
+	coordID := postJob(t, base, `{"sweep":`+coordSweep+`,"mode":"coordinator","lease_seconds":1}`)
+
+	// Dead worker: claim one unit, never report it.
+	resp, err := http.Post(base+"/v1/jobs/"+coordID+"/shards/claim", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("orphan claim: status %d", resp.StatusCode)
+	}
+
+	// Two real worker processes; both must exit 0 once the job is done.
+	workers := make([]*exec.Cmd, 2)
+	for i := range workers {
+		w := exec.Command(bin, "-worker", "-coordinator", base, "-job", coordID, "-poll", "50ms")
+		out, err := w.StderrPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			s := bufio.NewScanner(out)
+			for s.Scan() {
+			}
+		}()
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = w
+	}
+	done := make(chan error, len(workers))
+	for _, w := range workers {
+		go func(w *exec.Cmd) { done <- w.Wait() }(w)
+	}
+	for range workers {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("worker exited non-zero: %v", err)
+			}
+		case <-time.After(120 * time.Second):
+			t.Fatal("workers did not finish the job")
+		}
+	}
+
+	got := resultLines(t, base, coordID)
+	if len(got) != len(want) {
+		t.Fatalf("coordinator streamed %d lines, local %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("cell %d differs:\nremote: %s\n local: %s", i, got[i], want[i])
+		}
+	}
+
+	// Flag contract: worker flags demand each other.
+	if out, err := exec.Command(bin, "-worker").CombinedOutput(); err == nil ||
+		!strings.Contains(string(out), "-coordinator") {
+		t.Fatalf("-worker alone: err=%v out=%s", err, out)
+	}
+	if out, err := exec.Command(bin, "-job", "x").CombinedOutput(); err == nil ||
+		!strings.Contains(string(out), "-worker") {
+		t.Fatalf("-job without -worker: err=%v out=%s", err, out)
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"math/rand"
 
 	"dualgraph/internal/adversary"
+	"dualgraph/internal/checkpoint"
 	"dualgraph/internal/core"
 	"dualgraph/internal/engine"
 	"dualgraph/internal/exhaustive"
@@ -179,6 +180,69 @@ type (
 
 // NewStream builds a standalone streaming accumulator (see Stream).
 var NewStream = stats.NewStream
+
+// Checkpointed, resumable sweeps: completed (cell, shard) accumulators are
+// serialized bit-exactly (TrialSummary.MarshalBinary), appended crash-safely
+// to a checkpoint file as the grid runs, and restored on resume — the
+// restored run's results and output are byte-identical to an uninterrupted
+// run at any worker count on either side of the interruption. See
+// internal/checkpoint for the file format and ARCHITECTURE.md for the data
+// flow.
+type (
+	// ShardKey names one (cell, shard) work unit of a grid run.
+	ShardKey = engine.ShardKey
+	// ShardState is one completed work unit: identity, trial range, and the
+	// accumulator folded over exactly those trials. Delivered through the
+	// StreamFrom onShard callback; consume (serialize) the summary during
+	// the call.
+	ShardState = engine.ShardState
+	// CheckpointMeta identifies the run a checkpoint belongs to (sweep hash,
+	// grid shape, stream configuration); build it with CheckpointMetaFor.
+	CheckpointMeta = checkpoint.Meta
+	// CheckpointRecord is one persisted work unit.
+	CheckpointRecord = checkpoint.Record
+	// CheckpointWriter appends records to a checkpoint file; Append is
+	// concurrency-safe and syncs before returning.
+	CheckpointWriter = checkpoint.Writer
+	// EngineTrial is one fully materialized trial setup — what FoldShard
+	// executes; build it from a Scenario's Build() fields.
+	EngineTrial = engine.Trial
+	// ErrCheckpointVersion reports a checkpoint file format this build does
+	// not speak.
+	ErrCheckpointVersion = checkpoint.ErrVersion
+	// ErrCheckpointSpecMismatch reports a checkpoint recorded for a different
+	// sweep or different run parameters — resuming it would splice state
+	// from a different experiment.
+	ErrCheckpointSpecMismatch = checkpoint.ErrSpecMismatch
+)
+
+// ErrCheckpointCorrupt identifies structurally damaged checkpoint data (a
+// torn trailing record is recovered, not an error).
+var ErrCheckpointCorrupt = checkpoint.ErrCorrupt
+
+var (
+	// CreateCheckpoint starts a fresh checkpoint file.
+	CreateCheckpoint = checkpoint.Create
+	// RecoverCheckpoint reads a checkpoint's intact records (read-only).
+	RecoverCheckpoint = checkpoint.Recover
+	// ResumeCheckpoint recovers a checkpoint, truncates any torn tail, and
+	// returns a writer positioned to append after the intact records.
+	ResumeCheckpoint = checkpoint.Resume
+	// CheckpointSeed converts recovered records into the seed map
+	// Sweep.StreamFrom takes.
+	CheckpointSeed = checkpoint.SeedMap
+	// CheckpointMetaFor assembles a run identity; every creator and resumer
+	// must build it the same way for the stale-checkpoint gate to work.
+	CheckpointMetaFor = checkpoint.MetaFor
+	// FoldShard executes one (cell, shard) unit's trials sequentially — the
+	// worker side of the coordinator protocol; its accumulator is
+	// bit-identical to the one the in-process engine builds for that unit.
+	FoldShard = engine.FoldShardContext
+	// ShardsOf returns the number of accumulator shards of an n-trial sweep.
+	ShardsOf = engine.Shards
+	// ShardRange returns the trial range of one shard of an n-trial sweep.
+	ShardRange = engine.ShardRange
+)
 
 // Dynamic networks: epoch-scheduled time-varying topologies.
 type (

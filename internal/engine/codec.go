@@ -1,0 +1,125 @@
+// Binary serialization of TrialSummary accumulators: the engine-level unit
+// of checkpoint and coordinator/worker state. A summary encodes its exact
+// tallies plus both stats.Stream accumulators through their bit-exact codec,
+// so unmarshal→Merge is byte-equivalent to merging the in-memory original —
+// the property that lets a (cell, shard) accumulator cross a process
+// boundary without perturbing the final aggregate.
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dualgraph/internal/stats"
+)
+
+// summaryMagic brands a TrialSummary encoding ("DGTS" little-endian).
+const summaryMagic uint32 = 0x53544744
+
+// summaryVersion is the TrialSummary wire-format version; unknown versions
+// are rejected rather than misread.
+const summaryVersion uint16 = 1
+
+// ErrCorruptSummary reports a TrialSummary encoding that is truncated,
+// carries trailing bytes, or violates a tally invariant. Stream-level
+// corruption surfaces as stats.ErrCorruptEncoding; both wrap into the
+// returned error chain.
+var ErrCorruptSummary = errors.New("engine: corrupt or truncated summary encoding")
+
+func corruptSummary(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorruptSummary, fmt.Sprintf(format, args...))
+}
+
+// MarshalBinary encodes the summary: exact tallies plus the two stream
+// accumulators in their canonical bit-exact encodings.
+func (t *TrialSummary) MarshalBinary() ([]byte, error) {
+	rounds, err := t.Rounds.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	tx, err := t.Transmissions.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 4+2+2+8+8+4+len(rounds)+4+len(tx))
+	buf = binary.LittleEndian.AppendUint32(buf, summaryMagic)
+	buf = binary.LittleEndian.AppendUint16(buf, summaryVersion)
+	buf = binary.LittleEndian.AppendUint16(buf, 0)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.Trials))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.Completed))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rounds)))
+	buf = append(buf, rounds...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(tx)))
+	buf = append(buf, tx...)
+	return buf, nil
+}
+
+// UnmarshalBinary decodes an encoding produced by MarshalBinary, replacing
+// t's state entirely. Structural damage fails with an error wrapping
+// ErrCorruptSummary (or stats.ErrCorruptEncoding for stream-level damage);
+// an unknown version is rejected with a descriptive error. On error t is
+// left unchanged.
+func (t *TrialSummary) UnmarshalBinary(data []byte) error {
+	const header = 4 + 2 + 2 + 8 + 8
+	if len(data) < header {
+		return corruptSummary("need %d header bytes, have %d", header, len(data))
+	}
+	if magic := binary.LittleEndian.Uint32(data[0:]); magic != summaryMagic {
+		return corruptSummary("bad magic %#x", magic)
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != summaryVersion {
+		return fmt.Errorf("engine: unsupported summary encoding version %d (this build speaks version %d)",
+			v, summaryVersion)
+	}
+	if reserved := binary.LittleEndian.Uint16(data[6:]); reserved != 0 {
+		return corruptSummary("nonzero reserved bits %#x", reserved)
+	}
+	var d TrialSummary
+	d.Trials = int64(binary.LittleEndian.Uint64(data[8:]))
+	d.Completed = int64(binary.LittleEndian.Uint64(data[16:]))
+	rest := data[header:]
+
+	takeBlob := func() ([]byte, error) {
+		if len(rest) < 4 {
+			return nil, corruptSummary("truncated stream length")
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		if uint32(len(rest)) < n {
+			return nil, corruptSummary("stream blob needs %d bytes, have %d", n, len(rest))
+		}
+		blob := rest[:n]
+		rest = rest[n:]
+		return blob, nil
+	}
+	roundsBlob, err := takeBlob()
+	if err != nil {
+		return err
+	}
+	txBlob, err := takeBlob()
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return corruptSummary("%d trailing bytes", len(rest))
+	}
+
+	d.Rounds = &stats.Stream{}
+	if err := d.Rounds.UnmarshalBinary(roundsBlob); err != nil {
+		return fmt.Errorf("engine: rounds stream: %w", err)
+	}
+	d.Transmissions = &stats.Stream{}
+	if err := d.Transmissions.UnmarshalBinary(txBlob); err != nil {
+		return fmt.Errorf("engine: transmissions stream: %w", err)
+	}
+	if d.Trials < 0 || d.Completed < 0 || d.Completed > d.Trials {
+		return corruptSummary("impossible tallies: completed %d of %d trials", d.Completed, d.Trials)
+	}
+	if d.Rounds.Count() != d.Trials || d.Transmissions.Count() != d.Trials {
+		return corruptSummary("stream counts (%d, %d) disagree with trial tally %d",
+			d.Rounds.Count(), d.Transmissions.Count(), d.Trials)
+	}
+	*t = d
+	return nil
+}

@@ -13,6 +13,7 @@ package engine
 
 import (
 	"context"
+	"fmt"
 
 	"dualgraph/internal/graph"
 	"dualgraph/internal/sim"
@@ -60,6 +61,82 @@ func RunStreamScheduleContext(ctx context.Context, sched graph.Schedule, alg sim
 			return dst.Merge(src)
 		},
 	)
+}
+
+// RunStreamScheduleFromContext is RunStreamScheduleContext with checkpoint
+// hooks (see ReduceFromContext): shards in seed are restored instead of run,
+// onShard observes each freshly completed shard, and the final summary is
+// bit-identical to an uninterrupted RunStreamScheduleContext at any worker
+// count on either side of the interruption.
+func RunStreamScheduleFromContext(ctx context.Context, sched graph.Schedule, alg sim.Algorithm, adv sim.Adversary, simCfg sim.Config,
+	trials int, cfg Config, sc StreamConfig,
+	seed map[int]*TrialSummary, onShard func(ShardState)) (*TrialSummary, error) {
+	if _, err := stats.NewStream(sc.quantiles(), sc.ExactK); err != nil {
+		return nil, err
+	}
+	var hook func(shard, lo, hi int, acc *TrialSummary)
+	if onShard != nil {
+		hook = func(shard, lo, hi int, acc *TrialSummary) {
+			onShard(ShardState{Shard: shard, TrialLo: lo, TrialHi: hi, Summary: acc})
+		}
+	}
+	return ReduceFromContext(ctx, trials, cfg, seed, hook,
+		func(i int) (*sim.Result, error) {
+			c := simCfg
+			c.Seed = SeedFor(simCfg.Seed, i)
+			return sim.RunDynamic(sched, alg, adv, c)
+		},
+		sc.newSummary,
+		func(acc *TrialSummary, _ int, res *sim.Result) error {
+			return acc.fold(res)
+		},
+		func(dst, src *TrialSummary) error {
+			return dst.Merge(src)
+		},
+	)
+}
+
+// RunStreamFromContext is RunStreamScheduleFromContext over a static
+// schedule: the checkpointable counterpart of RunStreamContext.
+func RunStreamFromContext(ctx context.Context, net *graph.Dual, alg sim.Algorithm, adv sim.Adversary, simCfg sim.Config,
+	trials int, cfg Config, sc StreamConfig,
+	seed map[int]*TrialSummary, onShard func(ShardState)) (*TrialSummary, error) {
+	return RunStreamScheduleFromContext(ctx, graph.Static(net), alg, adv, simCfg, trials, cfg, sc, seed, onShard)
+}
+
+// FoldShardContext executes the trials [lo, hi) of one cell sequentially in
+// index order, folding each result into a fresh summary — exactly the
+// per-shard inner loop of the streaming reducers, with the same
+// SeedFor(cfg.Seed, i) derivation. A remote worker that runs a claimed
+// (cell, shard) unit through FoldShardContext therefore produces an
+// accumulator bit-identical to the one the local engine would have built,
+// which is what makes coordinator/worker grids byte-equivalent to
+// single-process runs. ctx is consulted between trials; cancellation
+// abandons the shard (a claimed unit either completes or reports nothing).
+func FoldShardContext(ctx context.Context, t Trial, lo, hi int, sc StreamConfig) (*TrialSummary, error) {
+	if lo < 0 || hi < lo {
+		return nil, fmt.Errorf("engine: bad trial range [%d, %d)", lo, hi)
+	}
+	if _, err := stats.NewStream(sc.quantiles(), sc.ExactK); err != nil {
+		return nil, err
+	}
+	sched := t.schedule()
+	acc := sc.newSummary()
+	for i := lo; i < hi; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		c := t.Cfg
+		c.Seed = SeedFor(t.Cfg.Seed, i)
+		res, err := sim.RunDynamic(sched, t.Alg, t.Adv, c)
+		if err == nil {
+			err = acc.fold(res)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("engine: trial %d: %w", i, err)
+		}
+	}
+	return acc, nil
 }
 
 // RunStreamSchedule is RunStreamScheduleContext without cancellation

@@ -48,11 +48,63 @@ import (
 // (wrapped). Completed cells have already been delivered through onCell.
 func RunGridStreamContext(ctx context.Context, cells []Trial, trials int, cfg Config, sc StreamConfig,
 	onCell func(cell int, sum *TrialSummary)) ([]*TrialSummary, error) {
+	return RunGridStreamFromContext(ctx, cells, trials, cfg, sc, nil, nil, onCell)
+}
+
+// ShardKey names one (cell, shard) work unit of a grid run: cell indexes the
+// cells slice, shard indexes the Shards(trials) partition. It is the key of
+// checkpoint records and coordinator/worker claims.
+type ShardKey struct {
+	Cell  int
+	Shard int
+}
+
+// ShardState is one completed work unit: the shard's identity, its trial
+// range under ShardRange, and the accumulator folded over exactly those
+// trials. onShard callbacks receive it the moment the shard completes; the
+// Summary must be consumed (typically serialized) during the callback,
+// because the engine may later mutate it as a merge destination. The
+// single-cell stream entry points report Cell as 0.
+type ShardState struct {
+	Cell    int
+	Shard   int
+	TrialLo int
+	TrialHi int
+	Summary *TrialSummary
+}
+
+// Key returns the shard's ShardKey.
+func (s ShardState) Key() ShardKey { return ShardKey{Cell: s.Cell, Shard: s.Shard} }
+
+// RunGridStreamFromContext is RunGridStreamContext with checkpoint hooks.
+// Units listed in seed are taken as already reduced: their accumulators
+// enter the cell's shard-order merge directly and their trials never run.
+// onShard, when non-nil, observes every freshly completed unit (never a
+// seeded one) from worker goroutines, possibly concurrently; the callback
+// must synchronize its own state. Because the shard partition and the merge
+// order are pure functions of the trial count, the returned summaries are
+// bit-identical whether a unit was just folded or restored from a serialized
+// checkpoint — at any worker count on either side of the interruption.
+//
+// Cells whose every shard is seeded are merged and delivered through onCell
+// before the pool starts, in cell-index order. Seeded accumulators become
+// part of the reduction: the caller must not retain or mutate them after the
+// call starts.
+func RunGridStreamFromContext(ctx context.Context, cells []Trial, trials int, cfg Config, sc StreamConfig,
+	seed map[ShardKey]*TrialSummary, onShard func(ShardState),
+	onCell func(cell int, sum *TrialSummary)) ([]*TrialSummary, error) {
 	if trials < 0 {
 		return nil, fmt.Errorf("engine: negative trial count %d", trials)
 	}
 	if _, err := stats.NewStream(sc.quantiles(), sc.ExactK); err != nil {
 		return nil, err
+	}
+	shards := Shards(trials)
+	for k := range seed {
+		if k.Cell < 0 || k.Cell >= len(cells) || k.Shard < 0 || k.Shard >= shards {
+			return nil, fmt.Errorf("engine: seeded unit (cell %d, shard %d) outside %d cells × %d shards",
+				k.Cell, k.Shard, len(cells), shards)
+		}
 	}
 	summaries := make([]*TrialSummary, len(cells))
 	if len(cells) == 0 {
@@ -68,7 +120,6 @@ func RunGridStreamContext(ctx context.Context, cells []Trial, trials int, cfg Co
 		return summaries, nil
 	}
 
-	shards := Shards(trials)
 	units := len(cells) * shards
 	accs := make([]*TrialSummary, units)
 	// remaining[c] counts the cell's unfinished shards; the worker that
@@ -78,6 +129,27 @@ func RunGridStreamContext(ctx context.Context, cells []Trial, trials int, cfg Co
 	remaining := make([]atomic.Int32, len(cells))
 	for c := range remaining {
 		remaining[c].Store(int32(shards))
+	}
+	for k, sum := range seed {
+		accs[k.Cell*shards+k.Shard] = sum
+		remaining[k.Cell].Add(-1)
+	}
+	// Fully seeded cells never enter the pool: merge and deliver them now, in
+	// cell-index order, exactly as their last worker would have.
+	for c := range cells {
+		if remaining[c].Load() != 0 {
+			continue
+		}
+		dst := accs[c*shards]
+		for t := 1; t < shards; t++ {
+			if err := dst.Merge(accs[c*shards+t]); err != nil {
+				return nil, fmt.Errorf("engine: cell %d merge: %w", c, err)
+			}
+		}
+		summaries[c] = dst
+		if onCell != nil {
+			onCell(c, dst)
+		}
 	}
 	var mergeEr trialError
 	workers := cfg.workers()
@@ -103,6 +175,11 @@ func RunGridStreamContext(ctx context.Context, cells []Trial, trials int, cfg Co
 			u := int(next.Add(1)) - 1
 			if u >= units {
 				return
+			}
+			if accs[u] != nil {
+				// Seeded unit: its accumulator is already in place and its
+				// cell's countdown was decremented upfront.
+				continue
 			}
 			c, s := u/shards, u%shards
 			cell := cells[c]
@@ -130,6 +207,9 @@ func RunGridStreamContext(ctx context.Context, cells []Trial, trials int, cfg Co
 				break
 			}
 			accs[u] = acc
+			if onShard != nil {
+				onShard(ShardState{Cell: c, Shard: s, TrialLo: lo, TrialHi: hi, Summary: acc})
+			}
 			if remaining[c].Add(-1) == 0 {
 				// Last shard of the cell: merge in shard-index order — the
 				// same order the post-hoc merge used to run in, so the

@@ -37,6 +37,14 @@ func Shards(n int) int {
 	return maxShards
 }
 
+// ShardRange returns the half-open trial range [lo, hi) of shard s in an
+// n-trial reduction: the partition every streaming entry point uses, exposed
+// so checkpoint files and coordinator/worker claims can name a shard's work
+// without re-deriving it. Like Shards, it is a pure function of n.
+func ShardRange(n, s int) (lo, hi int) {
+	return shardBounds(n, Shards(n), s)
+}
+
 // shardBounds returns the half-open trial range [lo, hi) of shard s under
 // the balanced contiguous partition of 0..n-1 into `shards` blocks.
 func shardBounds(n, shards, s int) (lo, hi int) {
@@ -77,15 +85,53 @@ func ReduceContext[T, A any](
 	fold func(acc A, trial int, value T) error,
 	merge func(dst, src A) error,
 ) (A, error) {
+	return ReduceFromContext(ctx, n, cfg, nil, nil, fn, newAcc, fold, merge)
+}
+
+// ReduceFromContext is ReduceContext with checkpoint hooks: shards listed in
+// seed (keyed by shard index) are taken as already reduced — their
+// accumulators enter the shard-order merge directly and their trials never
+// run — and onShard, when non-nil, is called once per freshly completed
+// shard with its index, trial range, and accumulator, before the final
+// merge. Because the shard partition is a pure function of n and the merge
+// always walks shards 0..Shards(n)-1 in order, the reduced value is
+// bit-identical whether a shard's accumulator was just folded or restored
+// from a serialized checkpoint — at any worker count on either side of the
+// interruption.
+//
+// onShard calls come from worker goroutines, possibly concurrently for
+// different shards; the callback must synchronize its own state (checkpoint
+// writers take a lock). Seeded accumulators become part of the reduction:
+// the caller must not retain or mutate them after the call starts, and merge
+// may mutate the lowest-indexed one as the fold destination.
+func ReduceFromContext[T, A any](
+	ctx context.Context, n int, cfg Config,
+	seed map[int]A,
+	onShard func(shard, lo, hi int, acc A),
+	fn func(trial int) (T, error),
+	newAcc func() A,
+	fold func(acc A, trial int, value T) error,
+	merge func(dst, src A) error,
+) (A, error) {
 	var zero A
 	if n < 0 {
 		return zero, fmt.Errorf("engine: negative trial count %d", n)
 	}
+	shards := Shards(n)
+	for s := range seed {
+		if s < 0 || s >= shards {
+			return zero, fmt.Errorf("engine: seeded shard %d outside 0..%d", s, shards-1)
+		}
+	}
 	if n == 0 {
 		return newAcc(), nil
 	}
-	shards := Shards(n)
 	accs := make([]A, shards)
+	seeded := make([]bool, shards)
+	for s, acc := range seed {
+		accs[s] = acc
+		seeded[s] = true
+	}
 	workers := cfg.workers()
 	if workers > shards {
 		workers = shards
@@ -110,8 +156,12 @@ func ReduceContext[T, A any](
 			if s >= shards {
 				return
 			}
+			if seeded[s] {
+				continue
+			}
 			lo, hi := shardBounds(n, shards, s)
 			acc := newAcc()
+			ok := true
 			for i := lo; i < hi; i++ {
 				v, err := fn(i)
 				if err == nil {
@@ -120,10 +170,18 @@ func ReduceContext[T, A any](
 				if err != nil {
 					firstEr.record(i, err)
 					failed.Store(true)
+					ok = false
 					break
 				}
 			}
+			if !ok {
+				continue
+			}
 			accs[s] = acc
+			if onShard != nil {
+				lo, hi := shardBounds(n, shards, s)
+				onShard(s, lo, hi, acc)
+			}
 		}
 	}
 	if workers == 1 {

@@ -39,6 +39,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
+	mux.HandleFunc("POST /v1/jobs/{id}/shards/claim", s.handleClaim)
+	mux.HandleFunc("POST /v1/jobs/{id}/shards/report", s.handleReport)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	return mux
 }
@@ -68,6 +70,8 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusTooManyRequests
 	case errors.Is(err, ErrDraining):
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotCoordinator), errors.Is(err, ErrJobNotRunning):
+		status = http.StatusConflict
 	case errors.As(err, &version), errors.As(err, &dup), errors.As(err, &unknown):
 		status = http.StatusBadRequest
 	}
@@ -191,6 +195,42 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		CellsCompleted: st.CellsCompleted,
 		Error:          st.Error,
 	})
+}
+
+// handleClaim leases the next claimable (cell, shard) unit of a coordinator
+// job to the calling worker: 200 with a Claim body, or 204 when nothing is
+// claimable right now (poll the job status to distinguish "all leased" from
+// "job finished"). Non-coordinator jobs get 409.
+func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
+	claim, ok, err := s.ClaimShard(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, claim)
+}
+
+// handleReport accepts a worker's completed unit: 200 with the job's status
+// snapshot (also for idempotent duplicates), 400 for undecodable or
+// range-violating summaries, 409 once the job is no longer running.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	var rep Report
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		writeError(w, fmt.Errorf("decode shard report: %w", err))
+		return
+	}
+	st, err := s.ReportShard(r.PathValue("id"), rep)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {

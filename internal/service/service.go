@@ -72,6 +72,16 @@ type JobRequest struct {
 	// Sweep is the declarative job body (its own version field is checked
 	// by the spec layer on unmarshal).
 	Sweep spec.Sweep `json:"sweep"`
+	// Mode selects where the work runs: empty for the local engine,
+	// ModeCoordinator to hand (cell, shard) units to remote workers over the
+	// shard claim/report API. Coordinator jobs start Running immediately —
+	// they occupy no slot in the local executor queue.
+	Mode string `json:"mode,omitempty"`
+	// LeaseSeconds is the shard-claim lease duration of a coordinator job
+	// (0 = 60s): a claimed unit that is not reported within the lease
+	// becomes claimable again, which is how a dead worker's work returns to
+	// the pool.
+	LeaseSeconds int `json:"lease_seconds,omitempty"`
 }
 
 // JobStatus is the externally visible snapshot of one job.
@@ -88,6 +98,8 @@ type JobStatus struct {
 	CellsCompleted int `json:"cells_completed"`
 	// Trials is the per-cell Monte Carlo depth.
 	Trials int `json:"trials"`
+	// Mode echoes the request's execution mode (empty = local engine).
+	Mode string `json:"mode,omitempty"`
 	// Created is the submission time.
 	Created time.Time `json:"created"`
 	// Error carries the failure message of a failed job.
@@ -128,10 +140,15 @@ type job struct {
 	state   State
 	err     string
 	results []CellLine
-	cancel  context.CancelFunc // non-nil exactly while running
+	cancel  context.CancelFunc // non-nil exactly while running on the local engine
+	coord   *coordination      // non-nil exactly for coordinator jobs
 }
 
 func (j *job) status() JobStatus {
+	mode := ""
+	if j.coord != nil {
+		mode = ModeCoordinator
+	}
 	return JobStatus{
 		ID:             j.id,
 		Name:           j.name,
@@ -139,6 +156,7 @@ func (j *job) status() JobStatus {
 		Cells:          len(j.cells),
 		CellsCompleted: len(j.results),
 		Trials:         j.trials,
+		Mode:           mode,
 		Created:        j.created,
 		Error:          j.err,
 	}
@@ -184,6 +202,12 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 	if req.Version != 0 && req.Version != spec.WireVersion {
 		return JobStatus{}, &spec.ErrUnsupportedVersion{Kind: "job", Got: req.Version}
 	}
+	if req.Mode != "" && req.Mode != ModeCoordinator {
+		return JobStatus{}, fmt.Errorf("unknown job mode %q (want empty or %q)", req.Mode, ModeCoordinator)
+	}
+	if req.LeaseSeconds < 0 {
+		return JobStatus{}, fmt.Errorf("lease_seconds must be >= 0, got %d", req.LeaseSeconds)
+	}
 	cells, err := req.Sweep.Cells()
 	if err != nil {
 		return JobStatus{}, err
@@ -191,6 +215,13 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 	trials := req.Sweep.Trials
 	if trials <= 0 {
 		trials = 1
+	}
+	var coord *coordination
+	if req.Mode == ModeCoordinator {
+		coord, err = newCoordination(req.Sweep, len(cells), trials, s.cfg.Stream, req.LeaseSeconds)
+		if err != nil {
+			return JobStatus{}, err
+		}
 	}
 
 	s.mu.Lock()
@@ -207,12 +238,20 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 		trials:  trials,
 		created: time.Now().UTC(),
 		state:   Queued,
+		coord:   coord,
 	}
-	select {
-	case s.queue <- j:
-	default:
-		s.next-- // id not spent
-		return JobStatus{}, ErrQueueFull
+	if coord != nil {
+		// Coordinator jobs never enter the executor queue: the work happens
+		// on remote workers, so the job is claimable — Running — at once and
+		// local jobs keep executing beside it.
+		j.state = Running
+	} else {
+		select {
+		case s.queue <- j:
+		default:
+			s.next-- // id not spent
+			return JobStatus{}, ErrQueueFull
+		}
 	}
 	s.jobs[j.id] = j
 	s.ids = append(s.ids, j.id)
@@ -259,7 +298,14 @@ func (s *Server) Cancel(id string) (JobStatus, error) {
 		j.state = Cancelled
 		s.cond.Broadcast()
 	case Running:
-		j.cancel() // executor publishes the terminal state
+		if j.coord != nil {
+			// No local execution to interrupt: the ledger simply stops
+			// accepting claims and reports.
+			j.state = Cancelled
+			s.cond.Broadcast()
+		} else {
+			j.cancel() // executor publishes the terminal state
+		}
 	}
 	return j.status(), nil
 }
@@ -373,7 +419,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		close(s.queue) // executor exits after the jobs already queued
 		for _, id := range s.ids {
 			j := s.jobs[id]
-			if j.state == Queued {
+			if j.state == Queued || (j.state == Running && j.coord != nil) {
 				j.state = Cancelled
 			}
 		}

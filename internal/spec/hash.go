@@ -1,0 +1,32 @@
+package spec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Hash returns the sweep document's canonical identity: the hex SHA-256 of
+// its normalized JSON form. "Not stated" versions normalize to WireVersion
+// before hashing, so a file that omits version hashes identically to one
+// that states version 1; every other field hashes exactly as marshalled
+// (map-valued params marshal with sorted keys, so the encoding is
+// deterministic). Checkpoint files and coordinator jobs record this hash and
+// refuse to mix state from a different document.
+func (sw Sweep) Hash() (string, error) {
+	if err := checkVersion("sweep", sw.Version); err != nil {
+		return "", err
+	}
+	norm := sw
+	norm.Version = WireVersion
+	if norm.Base.Version == 0 {
+		norm.Base.Version = WireVersion
+	}
+	b, err := json.Marshal(norm)
+	if err != nil {
+		return "", fmt.Errorf("spec: hash sweep: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

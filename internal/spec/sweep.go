@@ -244,6 +244,19 @@ func (g *GridResult) Cell(label string) (*CellResult, bool) {
 // Cancelling ctx stops the run at (cell, shard) granularity with a wrapped
 // context error; cells already delivered through onCell remain final.
 func (sw Sweep) Stream(ctx context.Context, ec engine.Config, sc engine.StreamConfig, onCell func(CellResult)) (*GridResult, error) {
+	return sw.StreamFrom(ctx, ec, sc, nil, nil, onCell)
+}
+
+// StreamFrom is Stream with checkpoint hooks, threading the engine's resume
+// contract through the spec layer: units in seed are restored instead of
+// run, onShard observes every freshly completed unit (from worker
+// goroutines, possibly concurrently — synchronize, and consume the summary
+// during the call), and the grid result — including the order and content of
+// onCell deliveries — is bit-identical to an uninterrupted Stream at any
+// worker count on either side of the interruption.
+func (sw Sweep) StreamFrom(ctx context.Context, ec engine.Config, sc engine.StreamConfig,
+	seed map[engine.ShardKey]*engine.TrialSummary, onShard func(engine.ShardState),
+	onCell func(CellResult)) (*GridResult, error) {
 	cells, err := sw.Cells()
 	if err != nil {
 		return nil, err
@@ -298,7 +311,7 @@ func (sw Sweep) Stream(ctx context.Context, ec engine.Config, sc engine.StreamCo
 			}
 		}
 	}
-	sums, err := engine.RunGridStreamContext(ctx, built, sw.trials(), ec, sc, onEngineCell)
+	sums, err := engine.RunGridStreamFromContext(ctx, built, sw.trials(), ec, sc, seed, onShard, onEngineCell)
 	if err != nil {
 		return nil, err
 	}

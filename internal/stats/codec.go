@@ -1,0 +1,285 @@
+// Binary serialization of Stream accumulators. The encoding is versioned,
+// fixed-layout, and bit-exact: every float64 travels as its IEEE-754 bit
+// pattern, the exact buffer keeps its insertion order, and each P² estimator
+// ships its full five-marker state — so unmarshal reproduces a Stream whose
+// in-memory state is indistinguishable from the original. That is the
+// foundation of the repo's resume/distribution contract:
+//
+//	marshal(s); wire; unmarshal -> s'; dst.Merge(s')
+//
+// is byte-equivalent to dst.Merge(s) — a shard accumulator can cross a
+// process boundary (checkpoint file, worker report) without perturbing a
+// single bit of the final aggregate.
+//
+// Layout (all little-endian):
+//
+//	magic   uint32  'D','G','S','T'
+//	version uint16  codecVersion
+//	flags   uint16  bit0: spilled to P²
+//	exactK  int64
+//	count   int64
+//	mean, m2, min, max  4 × float64 bits
+//	nTargets uint32, then nTargets × float64 target bits
+//	exact sketch (flag bit0 clear): nExact uint32, then nExact × float64
+//	P² sketch (flag bit0 set): nTargets estimators, each
+//	        q float64, count int64, init[5], n[5], np[5], h[5] float64
+//
+// Trailing bytes are rejected, as is any truncation — a torn write never
+// decodes to a plausible smaller accumulator.
+package stats
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// codecMagic brands a Stream encoding ("DGST" little-endian).
+const codecMagic uint32 = 0x54534744
+
+// codecVersion is the current Stream wire-format version. Bump it on any
+// layout change; old versions are rejected with *ErrEncodingVersion rather
+// than misread.
+const codecVersion uint16 = 1
+
+const flagSpilled uint16 = 1
+
+// ErrCorruptEncoding reports a Stream encoding that is truncated, carries
+// trailing garbage, or violates a structural invariant (out-of-range
+// targets, impossible counts). Errors wrap it, so
+// errors.Is(err, ErrCorruptEncoding) identifies every corrupt-input failure.
+var ErrCorruptEncoding = errors.New("stats: corrupt or truncated stream encoding")
+
+// ErrEncodingVersion reports a Stream encoding written by a wire format this
+// build does not speak.
+type ErrEncodingVersion struct {
+	// Got is the rejected version number.
+	Got int
+}
+
+func (e *ErrEncodingVersion) Error() string {
+	return fmt.Sprintf("stats: unsupported stream encoding version %d (this build speaks version %d)",
+		e.Got, codecVersion)
+}
+
+// corrupt wraps ErrCorruptEncoding with context.
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorruptEncoding, fmt.Sprintf(format, args...))
+}
+
+// encodedSize returns the exact encoding length of s.
+func (s *Stream) encodedSize() int {
+	n := 4 + 2 + 2 + 8 + 8 + 4*8 + 4 + 8*len(s.targets)
+	if s.p2s == nil {
+		n += 4 + 8*len(s.exact)
+	} else {
+		n += len(s.p2s) * (8 + 8 + 4*5*8)
+	}
+	return n
+}
+
+// appender writes fixed-layout little-endian fields into a preallocated
+// buffer.
+type appender struct{ buf []byte }
+
+func (a *appender) u16(v uint16) { a.buf = binary.LittleEndian.AppendUint16(a.buf, v) }
+func (a *appender) u32(v uint32) { a.buf = binary.LittleEndian.AppendUint32(a.buf, v) }
+func (a *appender) u64(v uint64) { a.buf = binary.LittleEndian.AppendUint64(a.buf, v) }
+func (a *appender) i64(v int64)  { a.u64(uint64(v)) }
+func (a *appender) f64(v float64) {
+	a.u64(math.Float64bits(v))
+}
+
+// reader consumes the same layout, failing with ErrCorruptEncoding on any
+// short read.
+type reader struct {
+	buf []byte
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.buf) < n {
+		r.err = corrupt("need %d more bytes, have %d", n, len(r.buf))
+		return nil
+	}
+	b := r.buf[:n]
+	r.buf = r.buf[n:]
+	return b
+}
+
+func (r *reader) u16() uint16 {
+	if b := r.take(2); b != nil {
+		return binary.LittleEndian.Uint16(b)
+	}
+	return 0
+}
+
+func (r *reader) u32() uint32 {
+	if b := r.take(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (r *reader) u64() uint64 {
+	if b := r.take(8); b != nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+func (r *reader) i64() int64   { return int64(r.u64()) }
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// MarshalBinary encodes the full accumulator state. The encoding is
+// canonical: equal states produce equal bytes, which tests exploit to assert
+// that two reduction paths agreed to the last bit.
+func (s *Stream) MarshalBinary() ([]byte, error) {
+	a := &appender{buf: make([]byte, 0, s.encodedSize())}
+	a.u32(codecMagic)
+	a.u16(codecVersion)
+	var flags uint16
+	if s.p2s != nil {
+		flags |= flagSpilled
+	}
+	a.u16(flags)
+	a.i64(int64(s.exactK))
+	a.i64(s.count)
+	a.f64(s.mean)
+	a.f64(s.m2)
+	a.f64(s.min)
+	a.f64(s.max)
+	a.u32(uint32(len(s.targets)))
+	for _, t := range s.targets {
+		a.f64(t)
+	}
+	if s.p2s == nil {
+		a.u32(uint32(len(s.exact)))
+		for _, v := range s.exact {
+			a.f64(v)
+		}
+		return a.buf, nil
+	}
+	for _, p := range s.p2s {
+		a.f64(p.q)
+		a.i64(p.count)
+		for _, arr := range [][5]float64{p.init, p.n, p.np, p.h} {
+			for _, v := range arr {
+				a.f64(v)
+			}
+		}
+	}
+	return a.buf, nil
+}
+
+// UnmarshalBinary decodes an encoding produced by MarshalBinary into s,
+// replacing its state entirely. Truncated or trailing-garbage input fails
+// with an error wrapping ErrCorruptEncoding; an unknown wire version fails
+// with *ErrEncodingVersion. On error s is left unchanged.
+func (s *Stream) UnmarshalBinary(data []byte) error {
+	r := &reader{buf: data}
+	if magic := r.u32(); r.err == nil && magic != codecMagic {
+		return corrupt("bad magic %#x", magic)
+	}
+	version := r.u16()
+	if r.err == nil && version != codecVersion {
+		return &ErrEncodingVersion{Got: int(version)}
+	}
+	flags := r.u16()
+	if r.err == nil && flags&^flagSpilled != 0 {
+		return corrupt("unknown flag bits %#x", flags&^flagSpilled)
+	}
+	var d Stream
+	d.exactK = int(r.i64())
+	d.count = r.i64()
+	d.mean = r.f64()
+	d.m2 = r.f64()
+	d.min = r.f64()
+	d.max = r.f64()
+	nTargets := r.u32()
+	if r.err != nil {
+		return r.err
+	}
+	if d.exactK < minExactK {
+		return corrupt("exactK %d below minimum %d", d.exactK, minExactK)
+	}
+	if d.count < 0 {
+		return corrupt("negative count %d", d.count)
+	}
+	if int(nTargets) > len(data)/8 {
+		// Cheap bound before allocating: every target costs 8 bytes.
+		return corrupt("target count %d exceeds encoding size", nTargets)
+	}
+	d.targets = make([]float64, nTargets)
+	for i := range d.targets {
+		q := r.f64()
+		if r.err == nil && (math.IsNaN(q) || q < 0 || q > 1) {
+			return corrupt("target quantile %v out of [0,1]", q)
+		}
+		d.targets[i] = q
+	}
+	if flags&flagSpilled == 0 {
+		nExact := r.u32()
+		if r.err != nil {
+			return r.err
+		}
+		if int(nExact) > d.exactK || int64(nExact) != d.count {
+			return corrupt("exact buffer length %d inconsistent with count %d / exactK %d",
+				nExact, d.count, d.exactK)
+		}
+		if int(nExact) > len(data)/8 {
+			// Cheap bound before allocating: every value costs 8 bytes.
+			return corrupt("exact buffer length %d exceeds encoding size", nExact)
+		}
+		if nExact > 0 {
+			d.exact = make([]float64, nExact)
+			for i := range d.exact {
+				v := r.f64()
+				if r.err == nil && math.IsNaN(v) {
+					return corrupt("NaN in exact buffer")
+				}
+				d.exact[i] = v
+			}
+		}
+	} else {
+		// A spill only ever happens while replaying at least minExactK
+		// buffered values, so a spilled stream always has enough mass to have
+		// initialized every marker.
+		if d.count < minExactK {
+			return corrupt("spilled stream with count %d < %d", d.count, minExactK)
+		}
+		d.p2s = make([]*p2, nTargets)
+		for i := range d.p2s {
+			p := &p2{}
+			p.q = r.f64()
+			p.count = r.i64()
+			for _, arr := range []*[5]float64{&p.init, &p.n, &p.np, &p.h} {
+				for j := range arr {
+					arr[j] = r.f64()
+				}
+			}
+			if r.err != nil {
+				return r.err
+			}
+			if p.q != d.targets[i] {
+				return corrupt("P² estimator %d tracks %v, stream target is %v", i, p.q, d.targets[i])
+			}
+			if p.count < 0 {
+				return corrupt("negative P² count %d", p.count)
+			}
+			d.p2s[i] = p
+		}
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.buf) != 0 {
+		return corrupt("%d trailing bytes", len(r.buf))
+	}
+	*s = d
+	return nil
+}

@@ -1,0 +1,282 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// fill adds n deterministic pseudo-random values to s.
+func fill(t *testing.T, s *Stream, seed int64, n int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		if err := s.Add(rng.NormFloat64()*10 + 50); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// roundTrip marshals s and unmarshals into a fresh Stream.
+func roundTrip(t *testing.T, s *Stream) *Stream {
+	t.Helper()
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Stream
+	if err := out.UnmarshalBinary(blob); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	return &out
+}
+
+// marshalBytes is a test helper asserting Marshal succeeds.
+func marshalBytes(t *testing.T, s *Stream) []byte {
+	t.Helper()
+	blob, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestRoundTripStateEquality: unmarshal(marshal(s)) reproduces the exact
+// in-memory state — including P² marker bits — in every sketch regime.
+func TestRoundTripStateEquality(t *testing.T) {
+	targets := []float64{0.5, 0.9, 0.99}
+	for _, tc := range []struct {
+		name string
+		n    int
+	}{
+		{"empty", 0},
+		{"one", 1},
+		{"exact", 40},
+		{"boundary", 64},
+		{"spilled", 500},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := mustStream(t, targets, 64)
+			fill(t, s, 7, tc.n)
+			got := roundTrip(t, s)
+			if !reflect.DeepEqual(s, got) {
+				t.Fatalf("state mismatch after round trip:\n got %+v\nwant %+v", got, s)
+			}
+			// Canonical encoding: re-marshal is byte-identical.
+			if a, b := marshalBytes(t, s), marshalBytes(t, got); !reflect.DeepEqual(a, b) {
+				t.Fatal("re-marshal is not byte-identical")
+			}
+		})
+	}
+}
+
+// TestP2MarkerBitEquality pins the marker state fields one by one, so a
+// codec regression names the field it lost rather than a generic DeepEqual
+// diff.
+func TestP2MarkerBitEquality(t *testing.T) {
+	s := mustStream(t, []float64{0.5, 0.95}, 16)
+	fill(t, s, 11, 1000)
+	if s.Exact() {
+		t.Fatal("fixture must have spilled")
+	}
+	got := roundTrip(t, s)
+	for i := range s.p2s {
+		want, have := s.p2s[i], got.p2s[i]
+		if math.Float64bits(want.q) != math.Float64bits(have.q) {
+			t.Fatalf("estimator %d: q bits differ", i)
+		}
+		if want.count != have.count {
+			t.Fatalf("estimator %d: count %d != %d", i, have.count, want.count)
+		}
+		for j := 0; j < 5; j++ {
+			for name, pair := range map[string][2]float64{
+				"init": {want.init[j], have.init[j]},
+				"n":    {want.n[j], have.n[j]},
+				"np":   {want.np[j], have.np[j]},
+				"h":    {want.h[j], have.h[j]},
+			} {
+				if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+					t.Fatalf("estimator %d marker %d: %s bits differ (%v != %v)",
+						i, j, name, pair[1], pair[0])
+				}
+			}
+		}
+	}
+}
+
+// TestMergeThroughWireIsByteEquivalent: for every merge regime, merging a
+// round-tripped operand is byte-equivalent to merging the in-memory one —
+// the invariant the resume and coordinator/worker paths rest on.
+func TestMergeThroughWireIsByteEquivalent(t *testing.T) {
+	targets := []float64{0.5, 0.9}
+	const exactK = 32
+	regimes := []struct {
+		name   string
+		na, nb int
+	}{
+		{"empty/empty", 0, 0},
+		{"empty/exact", 0, 10},
+		{"exact/empty", 10, 0},
+		{"exact/exact-fits", 10, 12},
+		{"exact/exact-spills", 20, 20},
+		{"exact/spilled", 10, 200},
+		{"spilled/exact", 200, 10},
+		{"spilled/spilled", 200, 300},
+	}
+	for _, rg := range regimes {
+		t.Run(rg.name, func(t *testing.T) {
+			mk := func() (*Stream, *Stream) {
+				a := mustStream(t, targets, exactK)
+				b := mustStream(t, targets, exactK)
+				fill(t, a, 3, rg.na)
+				fill(t, b, 4, rg.nb)
+				return a, b
+			}
+			memA, memB := mk()
+			if err := memA.Merge(memB); err != nil {
+				t.Fatal(err)
+			}
+			wireA, wireB := mk()
+			wireA = roundTrip(t, wireA)
+			wireB = roundTrip(t, wireB)
+			if err := wireA.Merge(wireB); err != nil {
+				t.Fatal(err)
+			}
+			if a, b := marshalBytes(t, memA), marshalBytes(t, wireA); !reflect.DeepEqual(a, b) {
+				t.Fatalf("merge through the wire diverged from in-memory merge")
+			}
+		})
+	}
+}
+
+// TestUnmarshalRejectsEveryTruncation: no prefix of a valid encoding decodes.
+func TestUnmarshalRejectsEveryTruncation(t *testing.T) {
+	for _, n := range []int{0, 20, 500} {
+		s := mustStream(t, []float64{0.5, 0.9}, 32)
+		fill(t, s, 9, n)
+		blob := marshalBytes(t, s)
+		for cut := 0; cut < len(blob); cut++ {
+			var out Stream
+			err := out.UnmarshalBinary(blob[:cut])
+			if err == nil {
+				t.Fatalf("n=%d: truncation to %d/%d bytes decoded successfully", n, cut, len(blob))
+			}
+			var version *ErrEncodingVersion
+			if !errors.Is(err, ErrCorruptEncoding) && !errors.As(err, &version) {
+				t.Fatalf("n=%d cut=%d: error is not typed: %v", n, cut, err)
+			}
+		}
+	}
+}
+
+// TestUnmarshalRejectsStructuralCorruption covers the typed failure paths a
+// random bit flip cannot reliably hit.
+func TestUnmarshalRejectsStructuralCorruption(t *testing.T) {
+	base := func() []byte {
+		s := mustStream(t, []float64{0.5}, 32)
+		fill(t, s, 5, 10)
+		return marshalBytes(t, s)
+	}
+
+	t.Run("bad magic", func(t *testing.T) {
+		blob := base()
+		blob[0] ^= 0xff
+		var out Stream
+		if err := out.UnmarshalBinary(blob); !errors.Is(err, ErrCorruptEncoding) {
+			t.Fatalf("want ErrCorruptEncoding, got %v", err)
+		}
+	})
+	t.Run("future version", func(t *testing.T) {
+		blob := base()
+		blob[4] = 0x7f // version u16 little-endian low byte
+		var out Stream
+		var version *ErrEncodingVersion
+		if err := out.UnmarshalBinary(blob); !errors.As(err, &version) {
+			t.Fatalf("want *ErrEncodingVersion, got %v", err)
+		} else if version.Got != 0x7f {
+			t.Fatalf("version error carries %d, want %d", version.Got, 0x7f)
+		}
+	})
+	t.Run("unknown flags", func(t *testing.T) {
+		blob := base()
+		blob[6] |= 0x80
+		var out Stream
+		if err := out.UnmarshalBinary(blob); !errors.Is(err, ErrCorruptEncoding) {
+			t.Fatalf("want ErrCorruptEncoding, got %v", err)
+		}
+	})
+	t.Run("trailing garbage", func(t *testing.T) {
+		blob := append(base(), 0x00)
+		var out Stream
+		if err := out.UnmarshalBinary(blob); !errors.Is(err, ErrCorruptEncoding) {
+			t.Fatalf("want ErrCorruptEncoding, got %v", err)
+		}
+	})
+	t.Run("unchanged on error", func(t *testing.T) {
+		s := mustStream(t, []float64{0.5}, 32)
+		fill(t, s, 6, 8)
+		before := marshalBytes(t, s)
+		if err := s.UnmarshalBinary(base()[:10]); err == nil {
+			t.Fatal("truncated decode succeeded")
+		}
+		if after := marshalBytes(t, s); !reflect.DeepEqual(before, after) {
+			t.Fatal("failed unmarshal mutated the receiver")
+		}
+	})
+}
+
+// TestRoundTripThenAddMatchesDirect: a restored accumulator keeps folding
+// exactly like the original — resume is not only merge-compatible but
+// add-compatible.
+func TestRoundTripThenAddMatchesDirect(t *testing.T) {
+	for _, split := range []int{0, 5, 31, 32, 100} {
+		direct := mustStream(t, []float64{0.5, 0.9}, 32)
+		fill(t, direct, 21, split)
+		restored := roundTrip(t, direct)
+		fill(t, direct, 22, 60)
+		fill(t, restored, 22, 60)
+		if a, b := marshalBytes(t, direct), marshalBytes(t, restored); !reflect.DeepEqual(a, b) {
+			t.Fatalf("split=%d: adds after restore diverged from uninterrupted adds", split)
+		}
+	}
+}
+
+// FuzzStreamUnmarshal: arbitrary input never panics; every accepted input
+// re-marshals byte-identically (the encoding is canonical).
+func FuzzStreamUnmarshal(f *testing.F) {
+	for _, n := range []int{0, 10, 200} {
+		s, err := NewStream([]float64{0.5, 0.9}, 32)
+		if err != nil {
+			f.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := 0; i < n; i++ {
+			_ = s.Add(rng.Float64() * 100)
+		}
+		blob, err := s.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Stream
+		if err := s.UnmarshalBinary(data); err != nil {
+			var version *ErrEncodingVersion
+			if !errors.Is(err, ErrCorruptEncoding) && !errors.As(err, &version) {
+				t.Fatalf("rejection is not typed: %v", err)
+			}
+			return
+		}
+		again, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of accepted input failed: %v", err)
+		}
+		if !reflect.DeepEqual(again, data) {
+			t.Fatalf("accepted encoding is not canonical:\n in  %x\n out %x", data, again)
+		}
+	})
+}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check staticcheck test test-short race serve-smoke resume-smoke bench-smoke bench-json bench-compare docs-registry docs-check ci
+.PHONY: all build vet fmt-check staticcheck test test-short race serve-smoke resume-smoke metrics-smoke bench-smoke bench-json bench-compare docs-registry docs-metrics docs-check ci
 
 all: build
 
@@ -39,12 +39,14 @@ test-short:
 	$(GO) test -short ./...
 
 # Race job scoped to the concurrent core: the trial engine, the simulator it
-# drives, and the job service that multiplexes HTTP clients onto the engine.
+# drives, the job service that multiplexes HTTP clients onto the engine, and
+# the observability layer (metrics registry scraped while instruments record;
+# progress tracker fed from worker goroutines).
 # -short skips the single-threaded 100k-node stress sim, which the race
 # instrumentation would slow ~10x without exercising any concurrency, and
 # shrinks the service's slow-job fixtures.
 race:
-	$(GO) test -race -short ./internal/engine/... ./internal/sim/... ./internal/service/...
+	$(GO) test -race -short ./internal/engine/... ./internal/sim/... ./internal/service/... ./internal/metrics/... ./internal/progress/...
 
 # End-to-end smoke of the dgsimd daemon binary: build it, start it on a free
 # port, submit a sweep and stream its results over HTTP, cancel a running
@@ -61,32 +63,42 @@ resume-smoke:
 	$(GO) test -run 'TestKillAndResumeByteIdentical|TestResumeRejectsEditedSpec' -count=1 -v ./cmd/dgsim/
 	$(GO) test -run TestWorkerSmoke -count=1 -v ./cmd/dgsimd/
 
+# Observability smoke over the real dgsimd binary (started with -pprof): run
+# a sweep to completion while scraping GET /metrics, validate the Prometheus
+# exposition format by hand, assert the key engine/service series carry the
+# job's own arithmetic, and check the healthz JSON body and pprof mount.
+metrics-smoke:
+	$(GO) test -run TestMetricsSmoke -count=1 -v ./cmd/dgsimd/
+
 # A fast benchmark pass: the engine speedup pair and the allocation-free
 # round loop, a few iterations each.
 bench-smoke:
 	$(GO) test -run NONE -bench 'BenchmarkEngine|BenchmarkSimRoundLoop' -benchtime 3x .
 
 # The perf-trajectory artifact: hot-path, reducer, grid, graph-layer,
-# dynamics, and checkpoint benchmarks parsed into BENCH_pr8.json (benchmark
-# name -> ns/op, B/op, allocs/op, custom metrics). The 'BenchmarkEngine'
-# pattern covers both the slice path (EngineSequential/Parallel) and the
-# streaming reducer (EngineReduceSequential/Parallel); 'BenchmarkSimRoundLoop'
+# dynamics, checkpoint, and observability benchmarks parsed into
+# BENCH_pr9.json (benchmark name -> ns/op, B/op, allocs/op, custom metrics).
+# The 'BenchmarkEngine' pattern covers both the slice path
+# (EngineSequential/Parallel) and the streaming reducer
+# (EngineReduceSequential/Parallel); 'BenchmarkSimRoundLoop'
 # also matches the Static/Dynamic pair that brackets the hoisted round loop;
 # 'BenchmarkGridSweep' captures cross-cell parallel throughput of the
 # declarative grid runner vs sequential cells; 'BenchmarkEpochSwap' also
 # matches the EpochSwapIncremental/pDown=* churn-scaling series;
 # 'BenchmarkCheckpoint' is the fsync-per-record write + recover round trip
-# behind -checkpoint/-resume. CI uploads the file so the trend is comparable
+# behind -checkpoint/-resume; 'BenchmarkMetrics' is the
+# instrumented-vs-uninstrumented round-loop pair that prices the PR 9
+# observability layer. CI uploads the file so the trend is comparable
 # across PRs.
 bench-json:
-	$(GO) test -run NONE -bench 'BenchmarkEngine|BenchmarkSimRoundLoop|BenchmarkGridSweep|BenchmarkEpochSwap|BenchmarkDynamicSweep|BenchmarkCheckpoint' -benchmem -benchtime 3x . > bench_raw.txt
+	$(GO) test -run NONE -bench 'BenchmarkEngine|BenchmarkSimRoundLoop|BenchmarkGridSweep|BenchmarkEpochSwap|BenchmarkDynamicSweep|BenchmarkCheckpoint|BenchmarkMetrics' -benchmem -benchtime 3x . > bench_raw.txt
 	$(GO) test -run NONE -bench 'BenchmarkGraphConstruction|BenchmarkUnreliableMembership|BenchmarkGeometricBuild100k|BenchmarkPreferentialAttachmentBuild100k' -benchmem -benchtime 3x ./internal/graph/ >> bench_raw.txt
-	$(GO) run ./cmd/benchjson < bench_raw.txt > BENCH_pr8.json
+	$(GO) run ./cmd/benchjson < bench_raw.txt > BENCH_pr9.json
 	@rm -f bench_raw.txt
-	@echo "wrote BENCH_pr8.json"
+	@echo "wrote BENCH_pr9.json"
 
 # Regression gate over the trajectory artifact: compare the fresh
-# BENCH_pr8.json against a baseline report (CI fetches the previous run's
+# BENCH_pr9.json against a baseline report (CI fetches the previous run's
 # artifact into $(BENCH_BASELINE); locally point it at any saved report) and
 # fail on a >10% ns/op regression in the gated round-loop and epoch-swap
 # benchmarks. Benchmarks absent from the baseline are informational "new",
@@ -96,7 +108,7 @@ bench-json:
 BENCH_BASELINE ?= BENCH_baseline.json
 bench-compare: bench-json
 	@if [ -f "$(BENCH_BASELINE)" ]; then \
-		$(GO) run ./cmd/benchcmp -old "$(BENCH_BASELINE)" -new BENCH_pr8.json; \
+		$(GO) run ./cmd/benchcmp -old "$(BENCH_BASELINE)" -new BENCH_pr9.json; \
 	else \
 		echo "bench-compare: no baseline at $(BENCH_BASELINE); skipping regression gate"; \
 	fi
@@ -110,14 +122,25 @@ docs-registry:
 	$(GO) run ./cmd/regdocs > docs/.REGISTRY.md.tmp && mv docs/.REGISTRY.md.tmp docs/REGISTRY.md || { rm -f docs/.REGISTRY.md.tmp; exit 1; }
 	@echo "wrote docs/REGISTRY.md"
 
-# Drift gate: the committed docs/REGISTRY.md must match what the registry
-# tables generate right now. The tracked-file check comes first because
-# `git diff` exits 0 for untracked (or deleted-and-committed) paths, which
-# would make the gate vacuous.
-docs-check: docs-registry
-	@git ls-files --error-unmatch docs/REGISTRY.md >/dev/null 2>&1 || \
-		{ echo "docs/REGISTRY.md is not tracked; commit the generated file"; exit 1; }
-	@git diff --exit-code docs/REGISTRY.md || \
-		{ echo "docs/REGISTRY.md drifted from the registry tables; commit the regenerated file"; exit 1; }
+# Regenerate the metric catalog (docs/METRICS.md) from the process-wide
+# metrics registry (cmd/metricdocs underscore-imports every instrumented
+# package so its registrations run). Commit the result; docs-check fails CI
+# on drift.
+docs-metrics:
+	@mkdir -p docs
+	$(GO) run ./cmd/metricdocs > docs/.METRICS.md.tmp && mv docs/.METRICS.md.tmp docs/METRICS.md || { rm -f docs/.METRICS.md.tmp; exit 1; }
+	@echo "wrote docs/METRICS.md"
 
-ci: build vet fmt-check staticcheck docs-check test race serve-smoke resume-smoke
+# Drift gate: the committed docs/REGISTRY.md and docs/METRICS.md must match
+# what the code generates right now. The tracked-file check comes first
+# because `git diff` exits 0 for untracked (or deleted-and-committed) paths,
+# which would make the gate vacuous.
+docs-check: docs-registry docs-metrics
+	@for f in docs/REGISTRY.md docs/METRICS.md; do \
+		git ls-files --error-unmatch $$f >/dev/null 2>&1 || \
+			{ echo "$$f is not tracked; commit the generated file"; exit 1; }; \
+		git diff --exit-code $$f || \
+			{ echo "$$f drifted from the generator; commit the regenerated file"; exit 1; }; \
+	done
+
+ci: build vet fmt-check staticcheck docs-check test race serve-smoke resume-smoke metrics-smoke

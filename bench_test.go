@@ -25,6 +25,7 @@ import (
 	"dualgraph/internal/interference"
 	"dualgraph/internal/linkest"
 	"dualgraph/internal/lowerbound"
+	"dualgraph/internal/metrics"
 	"dualgraph/internal/repeat"
 	"dualgraph/internal/sim"
 	"dualgraph/internal/ssf"
@@ -557,6 +558,27 @@ func BenchmarkSimRoundLoopStatic(b *testing.B) {
 func BenchmarkSimRoundLoopDynamic(b *testing.B) {
 	benchSimRoundLoop(b, func(d *graph.Dual) (graph.Schedule, error) {
 		return graph.NewChurn(d, 50, 0.05)
+	})
+}
+
+// BenchmarkMetricsOverhead pins the observability tax on the sim hot path:
+// the same dynamic round-loop workload as BenchmarkSimRoundLoopDynamic (the
+// variant that actually crosses metric sites — the static path has zero
+// metrics code) with the global gate on versus off. The two sub-benchmark
+// deltas are the whole per-run cost of instrumentation, which the bench
+// compare gate keeps under its regression threshold.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	churn := func(d *graph.Dual) (graph.Schedule, error) {
+		return graph.NewChurn(d, 50, 0.05)
+	}
+	b.Run("instrumented", func(b *testing.B) {
+		metrics.SetEnabled(true)
+		benchSimRoundLoop(b, churn)
+	})
+	b.Run("uninstrumented", func(b *testing.B) {
+		metrics.SetEnabled(false)
+		defer metrics.SetEnabled(true)
+		benchSimRoundLoop(b, churn)
 	})
 }
 

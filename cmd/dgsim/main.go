@@ -32,15 +32,24 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	"dualgraph"
+	"dualgraph/internal/metrics"
+	"dualgraph/internal/progress"
 )
+
+// progressOut receives -progress lines; a package variable so tests can
+// capture them.
+var progressOut io.Writer = os.Stderr
 
 func main() {
 	// SIGINT/SIGTERM cancel the run context: the engine stops at the next
@@ -88,6 +97,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		specPath  = fs.String("spec", "", "run the declarative sweep in this JSON file instead of the cell flags")
 		ckptPath  = fs.String("checkpoint", "", "with -spec: append every completed (cell, shard) accumulator to this file as the grid runs, so a killed run can -resume it")
 		resume    = fs.String("resume", "", "with -spec: restore completed shards from this checkpoint file (skipping their work), keep appending to it, and reproduce the full output byte-identically")
+		progFlag  = fs.Bool("progress", false, "with -stream or -spec: print a live progress line to stderr every 2s (done/total trials, trials/s, ETA, live rounds p50/p99)")
+		metrAddr  = fs.String("metrics", "", "with -stream or -spec: serve Prometheus metrics on this address (e.g. localhost:9090) for the duration of the run")
 		list      = fs.Bool("list", false, "print registered topologies/algorithms/adversaries/schedules with parameter docs, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -120,13 +131,18 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if *specPath == "" && (*ckptPath != "" || *resume != "") {
 		return fmt.Errorf("-checkpoint and -resume apply to -spec sweeps only")
 	}
+	if (*progFlag || *metrAddr != "") && !*stream && *specPath == "" {
+		// Live telemetry hangs off the engine's per-shard completion
+		// callbacks, which only the streaming paths expose.
+		return fmt.Errorf("-progress and -metrics report live sweep telemetry; use them with -stream or -spec")
+	}
 	if *specPath != "" {
 		// The spec file is the whole experiment; reject explicitly-set cell
 		// flags instead of silently ignoring them.
 		conflict := ""
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "spec", "workers", "checkpoint", "resume":
+			case "spec", "workers", "checkpoint", "resume", "progress", "metrics":
 			default:
 				conflict = f.Name
 			}
@@ -134,7 +150,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		if conflict != "" {
 			return fmt.Errorf("-spec runs a self-contained sweep file; drop -%s", conflict)
 		}
-		return runSpec(ctx, w, *specPath, *workers, *ckptPath, *resume)
+		return runSpec(ctx, w, *specPath, *workers, *ckptPath, *resume, *progFlag, *metrAddr)
 	}
 
 	if startRule(*start) == 0 {
@@ -178,7 +194,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			*trials, streamSuffix(*stream))
 	}
 	if *stream {
-		return runStream(ctx, w, built, *topo, schedSuffix(*sched), *rule, *start, *seed, *trials, *workers)
+		return runStream(ctx, w, built, *topo, schedSuffix(*sched), *rule, *start, *seed, *trials, *workers, *progFlag, *metrAddr)
 	}
 	if *trials > 1 {
 		return runMany(ctx, w, built, *topo, schedSuffix(*sched), *rule, *start, *seed, *trials, *workers)
@@ -248,6 +264,54 @@ func schedSuffix(sched string) string {
 	return " sched=" + sched
 }
 
+// startObservability wires the live-telemetry surfaces of a streaming run: a
+// progress tracker fed by per-shard completions, the -progress stderr line on
+// a 2s ticker, and the -metrics Prometheus listener. The tracker is
+// observe-only, so attaching it never changes the run's output. The ticker
+// always runs (it is what refreshes the progress_* gauges the listener
+// serves) but writes to io.Discard unless -progress asked for the line.
+// cleanup stops the ticker — emitting one final line — and closes the
+// listener.
+func startObservability(total int, sc dualgraph.StreamConfig, showProgress bool, metricsAddr string) (onShard func(dualgraph.ShardState), cleanup func(), err error) {
+	var stops []func()
+	if metricsAddr != "" {
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("-metrics: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", metrics.Handler())
+		srv := &http.Server{Handler: mux}
+		go func() { _ = srv.Serve(ln) }()
+		// Handshake line: tests (and humans with -metrics :0) learn the
+		// bound address from here.
+		fmt.Fprintf(os.Stderr, "metrics listening on %s\n", ln.Addr())
+		stops = append(stops, func() { _ = srv.Close() })
+	}
+	tr := progress.NewTracker(int64(total), sc)
+	out := io.Discard
+	if showProgress {
+		out = progressOut
+	}
+	stops = append(stops, tr.Start(out, 2*time.Second))
+	return tr.Observe, func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}, nil
+}
+
+// composeShard chains two optional per-shard callbacks.
+func composeShard(a, b func(dualgraph.ShardState)) func(dualgraph.ShardState) {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	}
+	return func(st dualgraph.ShardState) { a(st); b(st) }
+}
+
 // runSpec executes a declarative sweep file: every cell of the Cartesian
 // grid runs Trials times on the shared worker pool, and one aggregate line
 // prints per cell — streamed in cell order as cells complete, so an
@@ -260,7 +324,7 @@ func schedSuffix(sched string) string {
 // tail from the crash is truncated away, fresh shards keep appending) and
 // the full output — including the already-checkpointed cells — reprints
 // byte-identically to an uninterrupted run.
-func runSpec(ctx context.Context, w io.Writer, path string, workers int, ckptPath, resumePath string) error {
+func runSpec(ctx context.Context, w io.Writer, path string, workers int, ckptPath, resumePath string, showProgress bool, metricsAddr string) error {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -331,6 +395,15 @@ func runSpec(ctx context.Context, w io.Writer, path string, workers int, ckptPat
 		}()
 	}
 
+	if showProgress || metricsAddr != "" {
+		obs, cleanup, err := startObservability(len(cells)*trials, sc, showProgress, metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		onShard = composeShard(onShard, obs)
+	}
+
 	fmt.Fprintf(w, "grid: cells=%d trials-per-cell=%d\n", len(cells), trials)
 	printed := 0
 	_, err = sw.StreamFrom(ctx, dualgraph.EngineConfig{Workers: workers}, sc, seed, onShard,
@@ -353,8 +426,18 @@ func runSpec(ctx context.Context, w io.Writer, path string, workers int, ckptPat
 // max are exact; mean is exact up to rounding; quantiles are exact while
 // the trial count is within the sketch's exact regime and P² estimates
 // beyond it. Output is identical at any -workers value.
-func runStream(ctx context.Context, w io.Writer, b *dualgraph.BuiltScenario, topo, sched string, rule int, start string, seed int64, trials, workers int) error {
-	sum, err := b.RunStreamContext(ctx, trials, dualgraph.EngineConfig{Workers: workers}, dualgraph.StreamConfig{})
+func runStream(ctx context.Context, w io.Writer, b *dualgraph.BuiltScenario, topo, sched string, rule int, start string, seed int64, trials, workers int, showProgress bool, metricsAddr string) error {
+	sc := dualgraph.StreamConfig{}
+	var onShard func(dualgraph.ShardState)
+	if showProgress || metricsAddr != "" {
+		obs, cleanup, err := startObservability(trials, sc, showProgress, metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		onShard = obs
+	}
+	sum, err := b.RunStreamFromContext(ctx, trials, dualgraph.EngineConfig{Workers: workers}, sc, nil, onShard)
 	if err != nil {
 		return err
 	}

@@ -44,6 +44,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -67,6 +68,7 @@ func run(args []string) error {
 		workers    = fs.Int("workers", 0, "shared trial pool size (0 = one per CPU); never changes results, only throughput")
 		queue      = fs.Int("queue", 64, "max queued jobs before submissions get 429")
 		drainGrace = fs.Duration("drain-grace", time.Minute, "max time to wait for the running shard and open streams on shutdown")
+		pprofOn    = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the service listener (off by default; enable only on trusted networks)")
 
 		workerMode  = fs.Bool("worker", false, "run as a remote worker for a coordinator job instead of serving")
 		coordinator = fs.String("coordinator", "", "worker mode: base URL of the coordinator dgsimd (e.g. http://host:8080)")
@@ -93,7 +95,20 @@ func run(args []string) error {
 		Engine:     engine.Config{Workers: *workers},
 		QueueLimit: *queue,
 	})
-	hs := &http.Server{Handler: svc.Handler()}
+	handler := svc.Handler()
+	if *pprofOn {
+		// The service API keeps its own mux; the debug mux wraps it so the
+		// pprof routes exist only when asked for and never shadow /v1/.
+		debug := http.NewServeMux()
+		debug.Handle("/", handler)
+		debug.HandleFunc("/debug/pprof/", pprof.Index)
+		debug.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		debug.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		debug.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		debug.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = debug
+	}
+	hs := &http.Server{Handler: handler}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

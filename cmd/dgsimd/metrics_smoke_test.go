@@ -1,0 +1,232 @@
+// The metrics-smoke gate (`make metrics-smoke`): build the real dgsimd
+// binary with -pprof, run a sweep to completion while scraping GET /metrics,
+// validate the exposition format by hand, and assert the key series carry
+// the values the job implies (a fresh process ran exactly this sweep, so
+// engine_trials_total must equal cells × trials). Also checks the healthz
+// JSON body and the opt-in pprof mount.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var (
+	sampleRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (-?[0-9.eE+-]+|[+-]Inf|NaN)$`)
+	helpRe   = regexp.MustCompile(`^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+$`)
+	typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+)
+
+// validateExposition hand-checks the Prometheus text format: every line is a
+// well-formed HELP, TYPE, or sample; every sample's family was TYPEd first.
+func validateExposition(t *testing.T, body string) {
+	t.Helper()
+	typed := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			if !helpRe.MatchString(line) {
+				t.Errorf("malformed HELP line: %q", line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			m := typeRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Errorf("malformed TYPE line: %q", line)
+				continue
+			}
+			typed[m[1]] = true
+		default:
+			if !sampleRe.MatchString(line) {
+				t.Errorf("malformed sample line: %q", line)
+				continue
+			}
+			name := line[:strings.IndexAny(line, "{ ")]
+			family := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+			if !typed[name] && !typed[family] {
+				t.Errorf("sample %q has no preceding TYPE line", name)
+			}
+		}
+	}
+}
+
+// scrapeMetrics GETs /metrics and validates its format.
+func scrapeMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validateExposition(t, string(body))
+	return string(body)
+}
+
+// metricValue extracts one unlabeled sample value from an exposition body.
+func metricValue(t *testing.T, body, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("sample %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("exposition has no %q sample", name)
+	return 0
+}
+
+func TestMetricsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary smoke test skipped in -short mode")
+	}
+
+	bin := filepath.Join(t.TempDir(), "dgsimd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-pprof")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	}()
+
+	rd := bufio.NewScanner(stderr)
+	var base string
+	for rd.Scan() {
+		if i := strings.Index(rd.Text(), "listening on "); i >= 0 {
+			base = "http://" + strings.TrimSpace(rd.Text()[i+len("listening on "):])
+			break
+		}
+	}
+	if base == "" {
+		t.Fatal("dgsimd never printed its listen address")
+	}
+	go func() { // keep draining so the child never blocks on stderr
+		for rd.Scan() {
+		}
+	}()
+
+	// Empty server: exposition is already well-formed and the healthz body
+	// carries its JSON fields.
+	scrapeMetrics(t, base)
+	hresp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status        string  `json:"status"`
+		Queued        int     `json:"queued"`
+		Running       int     `json:"running"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK || health.Status != "ok" {
+		t.Fatalf("healthz: status %d body %+v", hresp.StatusCode, health)
+	}
+	if health.UptimeSeconds <= 0 {
+		t.Fatalf("healthz uptime = %v, want > 0", health.UptimeSeconds)
+	}
+
+	// -pprof was set: the debug mux must answer (the index page), and the
+	// service API must still be reachable through it.
+	presp, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, presp.Body)
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/: status %d (built with -pprof)", presp.StatusCode)
+	}
+
+	// Run a sweep while scraping. 4 cells × 2000 trials is long enough that
+	// at least one mid-run scrape lands while the job executes.
+	const cells, trials = 4, 2000
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"name":"metrics-smoke","sweep":{"base":{"n":13},"seeds":[1,2,3,4],"trials":%d}}`, trials)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job struct {
+		ID    string `json:"id"`
+		Cells int    `json:"cells"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || job.Cells != cells {
+		t.Fatalf("submit: status %d, %+v", resp.StatusCode, job)
+	}
+	for i := 0; i < 3; i++ {
+		scrapeMetrics(t, base) // mid-run scrapes must stay well-formed
+	}
+	waitStatus(t, base, job.ID, func(s string) bool { return s == "done" })
+
+	body := scrapeMetrics(t, base)
+	for _, series := range []string{
+		"engine_shard_duration_seconds_bucket{le=\"+Inf\"}",
+		"service_jobs_completed_total{state=\"done\"} 1",
+		"service_jobs_running 0",
+		"service_jobs_queued 0",
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("exposition missing %q", series)
+		}
+	}
+	// Fresh process, exactly one job: the engine counters equal the job's
+	// own arithmetic.
+	if got := metricValue(t, body, "engine_trials_total"); got != cells*trials {
+		t.Errorf("engine_trials_total = %v, want %d", got, cells*trials)
+	}
+	if got := metricValue(t, body, "engine_cells_completed_total"); got != cells {
+		t.Errorf("engine_cells_completed_total = %v, want %d", got, cells)
+	}
+	if got := metricValue(t, body, "service_jobs_submitted_total"); got != 1 {
+		t.Errorf("service_jobs_submitted_total = %v, want 1", got)
+	}
+	if got := metricValue(t, body, "service_cells_streamed_total"); got != cells {
+		t.Errorf("service_cells_streamed_total = %v, want %d", got, cells)
+	}
+	if got := metricValue(t, body, "engine_worker_busy_seconds_total"); got <= 0 {
+		t.Errorf("engine_worker_busy_seconds_total = %v, want > 0", got)
+	}
+
+	_ = cmd.Process.Kill()
+	_ = cmd.Wait()
+	cmd.Process = nil
+}

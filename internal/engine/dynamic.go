@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"dualgraph/internal/graph"
+	"dualgraph/internal/metrics"
 	"dualgraph/internal/sim"
 	"dualgraph/internal/stats"
 )
@@ -122,8 +123,12 @@ func FoldShardContext(ctx context.Context, t Trial, lo, hi int, sc StreamConfig)
 	}
 	sched := t.schedule()
 	acc := sc.newSummary()
+	clock := newWorkerClock(metrics.Enabled())
+	clock.beginUnit()
 	for i := lo; i < hi; i++ {
 		if err := ctx.Err(); err != nil {
+			clock.abortUnit()
+			clock.drain()
 			return nil, fmt.Errorf("engine: %w", err)
 		}
 		c := t.Cfg
@@ -133,8 +138,16 @@ func FoldShardContext(ctx context.Context, t Trial, lo, hi int, sc StreamConfig)
 			err = acc.fold(res)
 		}
 		if err != nil {
+			clock.abortUnit()
+			clock.drain()
 			return nil, fmt.Errorf("engine: trial %d: %w", i, err)
 		}
+	}
+	clock.endUnit()
+	clock.drain()
+	if clock.on {
+		mTrialsTotal.Add(int64(hi - lo))
+		mShardsCompleted.Inc()
 	}
 	return acc, nil
 }

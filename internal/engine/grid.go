@@ -11,6 +11,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dualgraph/internal/metrics"
 	"dualgraph/internal/sim"
 	"dualgraph/internal/stats"
 )
@@ -136,10 +137,12 @@ func RunGridStreamFromContext(ctx context.Context, cells []Trial, trials int, cf
 	}
 	// Fully seeded cells never enter the pool: merge and deliver them now, in
 	// cell-index order, exactly as their last worker would have.
+	seededCells := 0
 	for c := range cells {
 		if remaining[c].Load() != 0 {
 			continue
 		}
+		seededCells++
 		dst := accs[c*shards]
 		for t := 1; t < shards; t++ {
 			if err := dst.Merge(accs[c*shards+t]); err != nil {
@@ -157,6 +160,19 @@ func RunGridStreamFromContext(ctx context.Context, cells []Trial, trials int, cf
 		workers = units
 	}
 
+	// Instrumentation is observe-only and recorded at unit granularity; the
+	// gate is read once so a mid-run toggle cannot unbalance the pending
+	// gauge. Seeded units never enter the pool, so they never count as
+	// pending.
+	mOn := metrics.Enabled()
+	var completedFresh atomic.Int64
+	freshUnits := int64(units - len(seed))
+	if mOn {
+		mShardsSeeded.Add(int64(len(seed)))
+		mUnitsPending.Add(freshUnits)
+		mCellsCompleted.Add(int64(seededCells))
+	}
+
 	var (
 		next    atomic.Int64
 		failed  atomic.Bool
@@ -166,6 +182,8 @@ func RunGridStreamFromContext(ctx context.Context, cells []Trial, trials int, cf
 	// sequential case is the same unit walk on a pool of one.
 	done := ctx.Done()
 	work := func() {
+		clock := newWorkerClock(mOn)
+		defer clock.drain()
 		for !failed.Load() {
 			select {
 			case <-done:
@@ -187,6 +205,7 @@ func RunGridStreamFromContext(ctx context.Context, cells []Trial, trials int, cf
 			lo, hi := shardBounds(trials, shards, s)
 			acc := sc.newSummary()
 			shardErr := false
+			clock.beginUnit()
 			for i := lo; i < hi; i++ {
 				simCfg := cell.Cfg
 				simCfg.Seed = SeedFor(cell.Cfg.Seed, i)
@@ -204,9 +223,18 @@ func RunGridStreamFromContext(ctx context.Context, cells []Trial, trials int, cf
 				}
 			}
 			if shardErr {
+				clock.abortUnit()
 				break
 			}
+			clock.endUnit()
 			accs[u] = acc
+			if mOn {
+				mTrialsTotal.Add(int64(hi - lo))
+				mCellTrials.With(cellLabel(c)).Add(int64(hi - lo))
+				mShardsCompleted.Inc()
+				mUnitsPending.Add(-1)
+				completedFresh.Add(1)
+			}
 			if onShard != nil {
 				onShard(ShardState{Cell: c, Shard: s, TrialLo: lo, TrialHi: hi, Summary: acc})
 			}
@@ -224,6 +252,9 @@ func RunGridStreamFromContext(ctx context.Context, cells []Trial, trials int, cf
 					}
 				}
 				summaries[c] = dst
+				if mOn {
+					mCellsCompleted.Inc()
+				}
 				if onCell != nil {
 					onCell(c, dst)
 				}
@@ -242,6 +273,11 @@ func RunGridStreamFromContext(ctx context.Context, cells []Trial, trials int, cf
 			}()
 		}
 		wg.Wait()
+	}
+	if mOn {
+		// Units abandoned by error or cancellation leave the queue with the
+		// run; without this the pending gauge would leak on every failure.
+		mUnitsPending.Add(completedFresh.Load() - freshUnits)
 	}
 	if err := firstEr.get(); err != nil {
 		c, i := firstEr.index/trials, firstEr.index%trials

@@ -1,0 +1,133 @@
+package engine
+
+// White-box metric tests: the package's tests run sequentially (no
+// t.Parallel anywhere in the repo), so exact before/after deltas on the
+// package-global instruments are safe.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"dualgraph/internal/metrics"
+)
+
+// reduceSum runs a trivial integer reduction of n trials and returns it.
+func reduceSum(t *testing.T, n, workers int, seed map[int]*int) int {
+	t.Helper()
+	acc, err := ReduceFromContext(context.Background(), n, Config{Workers: workers},
+		seed, nil,
+		func(trial int) (int, error) { return trial, nil },
+		func() *int { return new(int) },
+		func(acc *int, _ int, v int) error { *acc += v; return nil },
+		func(dst, src *int) error { *dst += *src; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return *acc
+}
+
+func TestReduceMetricsDeltas(t *testing.T) {
+	const n = 100 // below the cap: one shard per trial
+	baseTrials := mTrialsTotal.Value()
+	baseShards := mShardsCompleted.Value()
+	baseSeeded := mShardsSeeded.Value()
+	basePending := mUnitsPending.Value()
+	baseBusy := mWorkerBusy.Value()
+	baseDur := mShardDuration.Count()
+
+	if got := reduceSum(t, n, 4, nil); got != n*(n-1)/2 {
+		t.Fatalf("sum = %d", got)
+	}
+
+	if d := mTrialsTotal.Value() - baseTrials; d != n {
+		t.Errorf("trials delta = %d, want %d", d, n)
+	}
+	if d := mShardsCompleted.Value() - baseShards; d != int64(Shards(n)) {
+		t.Errorf("shards delta = %d, want %d", d, Shards(n))
+	}
+	if d := mShardsSeeded.Value() - baseSeeded; d != 0 {
+		t.Errorf("seeded delta = %d, want 0", d)
+	}
+	if got := mUnitsPending.Value(); got != basePending {
+		t.Errorf("pending gauge = %d, want baseline %d", got, basePending)
+	}
+	if mWorkerBusy.Value() <= baseBusy {
+		t.Errorf("busy seconds did not advance")
+	}
+	if d := mShardDuration.Count() - baseDur; d != int64(Shards(n)) {
+		t.Errorf("shard duration observations delta = %d, want %d", d, Shards(n))
+	}
+}
+
+func TestReduceMetricsSeededSkips(t *testing.T) {
+	const n = 50
+	// Seed shards 0..9 with their true partial sums so the result is intact.
+	seed := make(map[int]*int)
+	for s := 0; s < 10; s++ {
+		lo, hi := ShardRange(n, s)
+		v := 0
+		for i := lo; i < hi; i++ {
+			v += i
+		}
+		seed[s] = &v
+	}
+	baseTrials := mTrialsTotal.Value()
+	baseSeeded := mShardsSeeded.Value()
+	basePending := mUnitsPending.Value()
+
+	if got := reduceSum(t, n, 2, seed); got != n*(n-1)/2 {
+		t.Fatalf("sum = %d", got)
+	}
+	// Shards here are one trial wide (n < cap), so 10 seeded shards skip
+	// exactly 10 trials.
+	if d := mTrialsTotal.Value() - baseTrials; d != n-10 {
+		t.Errorf("trials delta = %d, want %d", d, n-10)
+	}
+	if d := mShardsSeeded.Value() - baseSeeded; d != 10 {
+		t.Errorf("seeded delta = %d, want 10", d)
+	}
+	if got := mUnitsPending.Value(); got != basePending {
+		t.Errorf("pending gauge = %d, want baseline %d", got, basePending)
+	}
+}
+
+func TestReduceMetricsPendingDrainsOnError(t *testing.T) {
+	basePending := mUnitsPending.Value()
+	boom := errors.New("boom")
+	_, err := ReduceContext(context.Background(), 64, Config{Workers: 4},
+		func(trial int) (int, error) {
+			if trial == 17 {
+				return 0, boom
+			}
+			return trial, nil
+		},
+		func() *int { return new(int) },
+		func(acc *int, _ int, v int) error { *acc += v; return nil },
+		func(dst, src *int) error { *dst += *src; return nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Abandoned units must leave the queue with the failed run.
+	if got := mUnitsPending.Value(); got != basePending {
+		t.Errorf("pending gauge = %d, want baseline %d after error", got, basePending)
+	}
+}
+
+func TestReduceMetricsGateOff(t *testing.T) {
+	metrics.SetEnabled(false)
+	defer metrics.SetEnabled(true)
+	baseTrials := mTrialsTotal.Value()
+	baseShards := mShardsCompleted.Value()
+	basePending := mUnitsPending.Value()
+
+	if got := reduceSum(t, 40, 4, nil); got != 40*39/2 {
+		t.Fatalf("sum = %d", got)
+	}
+	if mTrialsTotal.Value() != baseTrials || mShardsCompleted.Value() != baseShards {
+		t.Errorf("counters advanced with the gate off")
+	}
+	if mUnitsPending.Value() != basePending {
+		t.Errorf("pending gauge moved with the gate off")
+	}
+}

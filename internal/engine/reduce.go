@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 
 	"dualgraph/internal/graph"
+	"dualgraph/internal/metrics"
 	"dualgraph/internal/sim"
 	"dualgraph/internal/stats"
 )
@@ -137,6 +138,17 @@ func ReduceFromContext[T, A any](
 		workers = shards
 	}
 
+	// Instrumentation is observe-only and recorded at shard granularity; the
+	// gate is read once so a mid-run toggle cannot unbalance the pending
+	// gauge. len(seed) units never enter the pool.
+	mOn := metrics.Enabled()
+	var completedFresh atomic.Int64
+	freshUnits := int64(shards - len(seed))
+	if mOn {
+		mShardsSeeded.Add(int64(len(seed)))
+		mUnitsPending.Add(freshUnits)
+	}
+
 	var (
 		next    atomic.Int64
 		failed  atomic.Bool
@@ -146,6 +158,8 @@ func ReduceFromContext[T, A any](
 	// shard walk on a pool of one, so fold/merge rounding is identical.
 	done := ctx.Done()
 	work := func() {
+		clock := newWorkerClock(mOn)
+		defer clock.drain()
 		for !failed.Load() {
 			select {
 			case <-done:
@@ -162,6 +176,7 @@ func ReduceFromContext[T, A any](
 			lo, hi := shardBounds(n, shards, s)
 			acc := newAcc()
 			ok := true
+			clock.beginUnit()
 			for i := lo; i < hi; i++ {
 				v, err := fn(i)
 				if err == nil {
@@ -175,9 +190,17 @@ func ReduceFromContext[T, A any](
 				}
 			}
 			if !ok {
+				clock.abortUnit()
 				continue
 			}
+			clock.endUnit()
 			accs[s] = acc
+			if mOn {
+				mTrialsTotal.Add(int64(hi - lo))
+				mShardsCompleted.Inc()
+				mUnitsPending.Add(-1)
+				completedFresh.Add(1)
+			}
 			if onShard != nil {
 				lo, hi := shardBounds(n, shards, s)
 				onShard(s, lo, hi, acc)
@@ -196,6 +219,11 @@ func ReduceFromContext[T, A any](
 			}()
 		}
 		wg.Wait()
+	}
+	if mOn {
+		// Units abandoned by error or cancellation leave the queue with the
+		// run; without this the pending gauge would leak on every failure.
+		mUnitsPending.Add(completedFresh.Load() - freshUnits)
 	}
 	if err := firstEr.get(); err != nil {
 		return zero, fmt.Errorf("engine: trial %d: %w", firstEr.index, err)
@@ -262,6 +290,12 @@ func (sc StreamConfig) newSummary() *TrialSummary {
 	tx, _ := stats.NewStream(sc.quantiles(), sc.ExactK)
 	return &TrialSummary{Rounds: rounds, Transmissions: tx}
 }
+
+// NewSummary returns an empty accumulator built with this configuration —
+// the same constructor the streaming reducers use per shard, exported so
+// out-of-engine consumers (the progress tracker) can Merge onShard
+// summaries into a configuration-compatible destination.
+func (sc StreamConfig) NewSummary() *TrialSummary { return sc.newSummary() }
 
 // fold adds one execution to the summary.
 func (t *TrialSummary) fold(res *sim.Result) error {

@@ -25,7 +25,11 @@
 
 package graph
 
-import "fmt"
+import (
+	"fmt"
+
+	"dualgraph/internal/metrics"
+)
 
 // Schedule produces the frozen network of each epoch of a dynamic run.
 // Epoch e covers rounds e·EpochLength()+1 .. (e+1)·EpochLength(); an
@@ -295,6 +299,9 @@ func (s *ChurnSchedule) Epoch(e int, runSeed int64) (*Dual, error) {
 		// No coin fired: the epoch is structurally the base, so skip the
 		// rebuild and hand the base core back (same arc sets, same dense
 		// EdgeIDs — byte-identical to the rebuilt Dual).
+		if metrics.Enabled() {
+			mEpochBase.Inc()
+		}
 		return s.base, nil
 	}
 	// A row u changes only if u is down (its whole row is filtered) or u has
@@ -316,6 +323,9 @@ func (s *ChurnSchedule) Epoch(e int, runSeed int64) (*Dual, error) {
 			return true
 		}
 		return s.backbone.has(u, v)
+	}
+	if metrics.Enabled() {
+		mEpochIncremental.Inc()
 	}
 	g := filterRowsPatched(s.base.G(), dirty, keep)
 	gp := filterRowsPatched(s.base.GPrime(), dirty, keep)
@@ -393,7 +403,13 @@ func (s *FadeSchedule) Epoch(e int, runSeed int64) (*Dual, error) {
 		}
 	}
 	if !anyFaded {
+		if metrics.Enabled() {
+			mEpochBase.Inc()
+		}
 		return s.base, nil
+	}
+	if metrics.Enabled() {
+		mEpochIncremental.Inc()
 	}
 	g := filterRowsPatched(bg, dirty, keep)
 	gp := s.base.GPrime()
@@ -460,6 +476,9 @@ func (s *WaypointSchedule) waypoint(runSeed int64, v NodeID, k int) (x, y float6
 func (s *WaypointSchedule) Epoch(e int, runSeed int64) (*Dual, error) {
 	if e < 0 {
 		return nil, fmt.Errorf("waypoint: negative epoch %d", e)
+	}
+	if e > 0 && metrics.Enabled() {
+		mEpochRebuild.Inc()
 	}
 	leg, step := e/s.legEpochs, e%s.legEpochs
 	t := float64(step) / float64(s.legEpochs)

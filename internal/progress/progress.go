@@ -1,0 +1,153 @@
+// Package progress turns the engine's per-shard completion callbacks into a
+// live human progress line and a set of gauges: done/total trials,
+// trials/sec, ETA, and live round-quantile estimates (p50/p99) read from
+// periodic read-only snapshots of the aggregated stats.Stream. It is the
+// layer behind `dgsim -progress`.
+//
+// The tracker is deliberately observe-only: Observe merges each ShardState's
+// summary into its own accumulator (TrialSummary.Merge leaves the source
+// unchanged, satisfying the engine's consume-during-callback contract), so
+// attaching a tracker cannot perturb the run's results. The aggregate the
+// tracker holds is an *unordered* merge — shards arrive in completion order,
+// not shard order — so its quantile estimates are progress telemetry, not
+// the run's canonical output (which the engine still merges in shard-index
+// order).
+package progress
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"dualgraph/internal/engine"
+	"dualgraph/internal/metrics"
+	"dualgraph/internal/stats"
+)
+
+var (
+	mTrialsDone = metrics.NewGauge("progress_trials_done",
+		"Trials completed by the tracked run (0 when no tracker is attached).")
+	mTrialsTotal = metrics.NewGauge("progress_trials_total",
+		"Total trials the tracked run will execute.")
+	mTrialsPerSec = metrics.NewFloatGauge("progress_trials_per_second",
+		"Tracked run throughput, updated on the progress ticker.")
+	mRoundsP50 = metrics.NewFloatGauge("progress_rounds_p50",
+		"Live p50 estimate of rounds across completed trials, updated on the progress ticker.")
+	mRoundsP99 = metrics.NewFloatGauge("progress_rounds_p99",
+		"Live p99 estimate of rounds across completed trials, updated on the progress ticker.")
+)
+
+// Tracker aggregates ShardState deliveries into live progress. Safe for
+// concurrent Observe calls from engine worker goroutines.
+type Tracker struct {
+	total int64
+	start time.Time
+
+	mu   sync.Mutex
+	done int64
+	sum  *engine.TrialSummary
+}
+
+// NewTracker builds a tracker for a run of total trials whose accumulators
+// use the given stream configuration (pass the same StreamConfig the run
+// itself uses, so shard summaries merge compatibly).
+func NewTracker(total int64, sc engine.StreamConfig) *Tracker {
+	t := &Tracker{total: total, start: time.Now(), sum: sc.NewSummary()}
+	mTrialsTotal.Set(total)
+	mTrialsDone.Set(0)
+	return t
+}
+
+// Observe folds one completed shard into the tracker; wire it into the
+// run's onShard callback (composing with checkpoint writers as needed). The
+// ShardState's summary is read, never retained or mutated.
+func (t *Tracker) Observe(st engine.ShardState) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.done += int64(st.TrialHi - st.TrialLo)
+	// Merge leaves st.Summary unchanged; a config mismatch is a caller bug
+	// that surfaces in the run's own merge, so the error is ignorable here.
+	_ = t.sum.Merge(st.Summary)
+	mTrialsDone.Set(t.done)
+}
+
+// snapshot returns the done count and a read-only copy of the rounds stream.
+func (t *Tracker) snapshot() (done int64, rounds *stats.Stream) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.done, t.sum.Rounds.Snapshot()
+}
+
+// Line renders the current progress line (no trailing newline) and updates
+// the progress gauges:
+//
+//	progress: 12800/100000 trials (12.8%) 4266 trials/s eta 20s rounds p50=21 p99=34
+func (t *Tracker) Line() string {
+	done, rounds := t.snapshot()
+	elapsed := time.Since(t.start).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(done) / elapsed
+	}
+	mTrialsPerSec.Set(rate)
+
+	eta := "?"
+	if rate > 0 && done < t.total {
+		d := time.Duration(float64(t.total-done) / rate * float64(time.Second))
+		eta = d.Round(time.Second).String()
+	} else if done >= t.total {
+		eta = "0s"
+	}
+	pct := 0.0
+	if t.total > 0 {
+		pct = 100 * float64(done) / float64(t.total)
+	}
+	return fmt.Sprintf("progress: %d/%d trials (%.1f%%) %.0f trials/s eta %s rounds p50=%s p99=%s",
+		done, t.total, pct, rate, eta,
+		quantileGauge(rounds, 0.5, mRoundsP50), quantileGauge(rounds, 0.99, mRoundsP99))
+}
+
+// quantileGauge formats one live quantile and mirrors it into its gauge;
+// "-" when the stream is empty or the target is untracked after a spill.
+func quantileGauge(s *stats.Stream, q float64, g *metrics.FloatGauge) string {
+	v, err := s.Quantile(q)
+	if err != nil {
+		return "-"
+	}
+	g.Set(v)
+	return fmt.Sprintf("%.4g", v)
+}
+
+// Start launches the ticker goroutine: every interval it writes Line to w
+// (one line per tick). The returned stop function halts the ticker and
+// writes one final line — so even a run shorter than the interval reports
+// its completion — and is idempotent.
+func (t *Tracker) Start(w io.Writer, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				fmt.Fprintln(w, t.Line())
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-exited
+			fmt.Fprintln(w, t.Line())
+		})
+	}
+}

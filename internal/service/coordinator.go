@@ -164,9 +164,11 @@ func (s *Server) ClaimShard(id string) (Claim, bool, error) {
 			}
 			// Lease expired without a report: the worker died (or stalled);
 			// the unit returns to the pool here, on the next claim scan.
+			mLeaseExpirations.Inc()
 		}
 		co.units[u] = unitLeased
 		co.deadlines[u] = now.Add(co.lease)
+		mShardClaims.Inc()
 		c, sh := u/co.shards, u%co.shards
 		lo, hi := engine.ShardRange(j.trials, sh)
 		return Claim{
@@ -218,18 +220,22 @@ func (s *Server) ReportShard(id string, rep Report) (JobStatus, error) {
 	}
 	u := rep.Cell*co.shards + rep.Shard
 	if co.units[u] == unitDone {
+		mDuplicateReports.Inc()
 		return j.status(), nil // duplicate from a re-leased unit's first owner
 	}
 	co.units[u] = unitDone
 	co.accs[u] = &sum
 	co.pending--
 	co.remaining[rep.Cell]--
+	mShardReports.Inc()
 	if co.remaining[rep.Cell] == 0 {
 		dst := co.accs[rep.Cell*co.shards]
 		for t := 1; t < co.shards; t++ {
 			if err := dst.Merge(co.accs[rep.Cell*co.shards+t]); err != nil {
 				j.state = Failed
 				j.err = fmt.Sprintf("cell %d merge: %v", rep.Cell, err)
+				mJobsRunning.Add(-1)
+				jobCompleted(Failed)
 				s.cond.Broadcast()
 				return j.status(), nil
 			}
@@ -244,10 +250,13 @@ func (s *Server) ReportShard(id string, rep Report) (JobStatus, error) {
 				Summary: spec.FormatSummary(co.sums[c]),
 			})
 			co.nextCell++
+			mCellsStreamed.Inc()
 		}
 	}
 	if co.pending == 0 {
 		j.state = Done
+		mJobsRunning.Add(-1)
+		jobCompleted(Done)
 	}
 	s.cond.Broadcast()
 	return j.status(), nil

@@ -6,6 +6,7 @@
 //	DELETE /v1/jobs/{id}         cancel (idempotent)           → 200 JobStatus
 //	GET    /v1/jobs/{id}/results stream per-cell results       → 200 ndjson/SSE
 //	GET    /v1/healthz           liveness + drain state        → 200/503
+//	GET    /metrics              Prometheus text exposition    → 200
 //
 // Results stream as JSON lines (application/x-ndjson), one CellLine per
 // finished cell in cell order, terminated by a {"done":true,...} line with
@@ -22,7 +23,9 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
+	"dualgraph/internal/metrics"
 	"dualgraph/internal/registry"
 	"dualgraph/internal/spec"
 )
@@ -42,6 +45,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs/{id}/shards/claim", s.handleClaim)
 	mux.HandleFunc("POST /v1/jobs/{id}/shards/report", s.handleReport)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	mux.Handle("GET /metrics", metrics.Handler())
 	return mux
 }
 
@@ -233,13 +237,36 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// healthBody is the /v1/healthz response: liveness plus a small operational
+// snapshot. The 200/503 split (ok/draining) is the machine-readable signal;
+// the body is for humans and dashboards.
+type healthBody struct {
+	Status        string  `json:"status"`
+	Queued        int     `json:"queued"`
+	Running       int     `json:"running"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
+	body := healthBody{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	for _, j := range s.jobs {
+		switch j.state {
+		case Queued:
+			body.Queued++
+		case Running:
+			body.Running++
+		}
+	}
 	draining := s.draining
 	s.mu.Unlock()
 	if draining {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		body.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, body)
 }

@@ -1,0 +1,58 @@
+// Service instrumentation. Job lifecycle gauges are transition-updated under
+// Server.mu — every state mutation site adjusts them — rather than computed
+// at scrape time, so the /metrics handler never takes the job lock and the
+// gauges stay exact across queued/running/terminal flips. Because gauges
+// must stay balanced (an increment recorded while metrics were enabled must
+// get its decrement even if they are disabled in between), service metrics
+// deliberately ignore the metrics.Enabled gate; that gate exists for the
+// engine/sim hot paths, and nothing here is hot — the costliest site is one
+// atomic per job state change or per shard report.
+//
+// Note the gauges are process-global (metrics.Default): a process running
+// several Servers (as tests do) sees their sums, which is the right reading
+// for a scrape endpoint. Per-server counts are on /v1/healthz.
+package service
+
+import "dualgraph/internal/metrics"
+
+var (
+	mJobsSubmitted = metrics.NewCounter("service_jobs_submitted_total",
+		"Jobs accepted by Submit (after validation and queue admission).")
+	mJobsCompleted = metrics.NewCounterVec("service_jobs_completed_total",
+		"Jobs reaching a terminal state, by final state.", "state")
+	mJobsQueued = metrics.NewGauge("service_jobs_queued",
+		"Jobs currently queued (admitted, not yet started).")
+	mJobsRunning = metrics.NewGauge("service_jobs_running",
+		"Jobs currently running (local executor or coordinator ledger).")
+
+	mShardClaims = metrics.NewCounter("service_shard_claims_total",
+		"Shard leases granted to workers by coordinator jobs.")
+	mLeaseExpirations = metrics.NewCounter("service_lease_expirations_total",
+		"Expired shard leases returned to the pool on a later claim scan.")
+	mShardReports = metrics.NewCounter("service_shard_reports_total",
+		"Worker shard reports accepted into coordinator ledgers.")
+	mDuplicateReports = metrics.NewCounter("service_duplicate_reports_total",
+		"Idempotent duplicate shard reports (unit already done when reported).")
+	mCellsStreamed = metrics.NewCounter("service_cells_streamed_total",
+		"Cell result lines streamed to job result buffers (local and coordinator jobs).")
+)
+
+// Pre-resolved terminal-state children, one atomic add per job completion.
+var (
+	mCompletedDone      = mJobsCompleted.With(string(Done))
+	mCompletedFailed    = mJobsCompleted.With(string(Failed))
+	mCompletedCancelled = mJobsCompleted.With(string(Cancelled))
+)
+
+// jobCompleted records a terminal transition. Callers adjust the live gauge
+// (queued or running) at the transition site, where the prior state is known.
+func jobCompleted(final State) {
+	switch final {
+	case Done:
+		mCompletedDone.Inc()
+	case Failed:
+		mCompletedFailed.Inc()
+	case Cancelled:
+		mCompletedCancelled.Inc()
+	}
+}

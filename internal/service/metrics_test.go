@@ -1,0 +1,261 @@
+package service
+
+// Metric and health-endpoint tests. The repo's tests never run in parallel,
+// so exact before/after deltas on the process-global instruments are safe
+// within this package.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"dualgraph/internal/metrics"
+)
+
+// scrape GETs /metrics and returns the exposition body.
+func scrape(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != metrics.ContentType {
+		t.Fatalf("/metrics content type %q, want %q", ct, metrics.ContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestMetricsEndpointWhileJobsRun scrapes /metrics concurrently from many
+// goroutines while a job executes, then checks the settled exposition
+// carries the expected series. The race lane runs this package, so the
+// concurrent scrapes double as a data-race probe on the registry.
+func TestMetricsEndpointWhileJobsRun(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	baseDone := jobsCompletedValue(Done)
+	baseStreamed := mCellsStreamed.Value()
+
+	st := submit(t, ts, JobRequest{Sweep: smallSweep(512)})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					body := scrape(t, ts)
+					if !strings.Contains(body, "# TYPE engine_trials_total counter") {
+						t.Error("scrape missing engine_trials_total TYPE line")
+						return
+					}
+				}
+			}
+		}()
+	}
+	waitState(t, s, st.ID, State.Terminal)
+	close(stop)
+	wg.Wait()
+
+	body := scrape(t, ts)
+	for _, series := range []string{
+		"engine_trials_total ",
+		"engine_shards_completed_total ",
+		"engine_shard_duration_seconds_bucket{le=\"+Inf\"}",
+		"service_jobs_submitted_total ",
+		"service_jobs_queued ",
+		"service_jobs_running ",
+		"service_jobs_completed_total{state=\"done\"}",
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("exposition missing %q", series)
+		}
+	}
+	if d := jobsCompletedValue(Done) - baseDone; d != 1 {
+		t.Errorf("done-job completions delta = %d, want 1", d)
+	}
+	if d := mCellsStreamed.Value() - baseStreamed; d != 4 {
+		t.Errorf("cells streamed delta = %d, want 4", d)
+	}
+}
+
+func jobsCompletedValue(st State) int64 {
+	return mJobsCompleted.With(string(st)).Value()
+}
+
+// Job lifecycle gauges must balance: after every submitted job reaches a
+// terminal state, queued and running return to their baselines, and the
+// terminal counters account for every job.
+func TestJobGaugesBalance(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	baseQueued := mJobsQueued.Value()
+	baseRunning := mJobsRunning.Value()
+	baseDone := jobsCompletedValue(Done)
+	baseCancelled := jobsCompletedValue(Cancelled)
+
+	done := submit(t, ts, JobRequest{Sweep: smallSweep(64)})
+	waitState(t, s, done.ID, State.Terminal)
+
+	// A cancelled-while-queued job: submit a slow job to occupy the executor,
+	// queue a second, cancel the second, then cancel the first.
+	slow := submit(t, ts, JobRequest{Sweep: slowSweep()})
+	queued := submit(t, ts, JobRequest{Sweep: smallSweep(64)})
+	if _, err := s.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Cancel(slow.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, slow.ID, State.Terminal)
+	waitState(t, s, queued.ID, State.Terminal)
+
+	if got := mJobsQueued.Value(); got != baseQueued {
+		t.Errorf("queued gauge = %d, want baseline %d", got, baseQueued)
+	}
+	if got := mJobsRunning.Value(); got != baseRunning {
+		t.Errorf("running gauge = %d, want baseline %d", got, baseRunning)
+	}
+	if d := jobsCompletedValue(Done) - baseDone; d != 1 {
+		t.Errorf("done delta = %d, want 1", d)
+	}
+	// slow and queued both end cancelled; slow may occasionally finish done
+	// on a very fast machine is impossible here (400k/50k trials), so assert
+	// exactly 2.
+	if d := jobsCompletedValue(Cancelled) - baseCancelled; d != 2 {
+		t.Errorf("cancelled delta = %d, want 2", d)
+	}
+}
+
+// Coordinator ledger counters: claims, reports, idempotent duplicates, and
+// the running gauge settling when the last report completes the job.
+func TestCoordinatorMetricCounters(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	baseClaims := mShardClaims.Value()
+	baseReports := mShardReports.Value()
+	baseDups := mDuplicateReports.Value()
+	baseRunning := mJobsRunning.Value()
+
+	sw := smallSweep(4) // 4 cells × 4 shards = 16 units
+	st := submit(t, ts, JobRequest{Sweep: sw, Mode: ModeCoordinator})
+
+	var first Claim
+	var blob []byte
+	units := 0
+	for {
+		c, ok := claimOnce(t, ts, st.ID)
+		if !ok {
+			break
+		}
+		units++
+		b := foldClaim(t, c)
+		if units == 1 {
+			first, blob = c, b
+		}
+		if code, _ := reportShard(t, ts, st.ID, Report{Cell: c.Cell, Shard: c.Shard, Summary: b}); code != http.StatusOK {
+			t.Fatalf("report: status %d", code)
+		}
+	}
+	if units != 16 {
+		t.Fatalf("claimed %d units, want 16", units)
+	}
+	waitState(t, s, st.ID, State.Terminal)
+
+	// A duplicate report of an already-done unit is acknowledged but counted
+	// separately — after the job is done it 409s, so replay against a second
+	// running job instead: easiest is asserting the duplicate path on the
+	// same job before completion is covered elsewhere; here just verify the
+	// counters and that replaying after terminal state does not count.
+	if code, _ := reportShard(t, ts, st.ID, Report{Cell: first.Cell, Shard: first.Shard, Summary: blob}); code != http.StatusConflict {
+		t.Fatalf("post-terminal report: status %d, want 409", code)
+	}
+
+	if d := mShardClaims.Value() - baseClaims; d != 16 {
+		t.Errorf("claims delta = %d, want 16", d)
+	}
+	if d := mShardReports.Value() - baseReports; d != 16 {
+		t.Errorf("reports delta = %d, want 16", d)
+	}
+	if d := mDuplicateReports.Value() - baseDups; d != 0 {
+		t.Errorf("duplicate delta = %d, want 0", d)
+	}
+	if got := mJobsRunning.Value(); got != baseRunning {
+		t.Errorf("running gauge = %d, want baseline %d", got, baseRunning)
+	}
+}
+
+// The duplicate-report counter increments when a still-running job receives
+// a report for a unit that is already done.
+func TestDuplicateReportCounter(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	baseDups := mDuplicateReports.Value()
+
+	st := submit(t, ts, JobRequest{Sweep: smallSweep(4), Mode: ModeCoordinator})
+	c, ok := claimOnce(t, ts, st.ID)
+	if !ok {
+		t.Fatal("no unit claimable")
+	}
+	blob := foldClaim(t, c)
+	rep := Report{Cell: c.Cell, Shard: c.Shard, Summary: blob}
+	if code, _ := reportShard(t, ts, st.ID, rep); code != http.StatusOK {
+		t.Fatalf("report: status %d", code)
+	}
+	// Same unit again while 15 units keep the job running: idempotent, counted.
+	if code, _ := reportShard(t, ts, st.ID, rep); code != http.StatusOK {
+		t.Fatalf("duplicate report: status %d", code)
+	}
+	if d := mDuplicateReports.Value() - baseDups; d != 1 {
+		t.Errorf("duplicate delta = %d, want 1", d)
+	}
+}
+
+// /v1/healthz carries a JSON body (status, queued/running counts, uptime)
+// on both the 200 and the 503 side.
+func TestHealthzBody(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	slow := submit(t, ts, JobRequest{Sweep: slowSweep()})
+	queued := submit(t, ts, JobRequest{Sweep: smallSweep(64)})
+	waitState(t, s, slow.ID, func(st State) bool { return st == Running })
+
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body healthBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+	if body.Status != "ok" || body.Running != 1 || body.Queued != 1 {
+		t.Fatalf("healthz body = %+v, want ok with 1 running, 1 queued", body)
+	}
+	if body.UptimeSeconds <= 0 {
+		t.Fatalf("uptime = %v, want > 0", body.UptimeSeconds)
+	}
+
+	if _, err := s.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Cancel(slow.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, slow.ID, State.Terminal)
+}

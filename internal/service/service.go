@@ -165,7 +165,8 @@ func (j *job) status() JobStatus {
 // Server is the sweep job manager. Create with New, serve with Handler,
 // stop with Drain (graceful) or Close (immediate).
 type Server struct {
-	cfg Config
+	cfg   Config
+	start time.Time // process-visible uptime anchor for /v1/healthz
 
 	mu   sync.Mutex
 	cond *sync.Cond // broadcast on every job state or result change
@@ -185,6 +186,7 @@ type Server struct {
 func New(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
+		start:    time.Now(),
 		jobs:     make(map[string]*job),
 		queue:    make(chan *job, cfg.queueLimit()),
 		execDone: make(chan struct{}),
@@ -255,6 +257,12 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 	}
 	s.jobs[j.id] = j
 	s.ids = append(s.ids, j.id)
+	mJobsSubmitted.Inc()
+	if coord != nil {
+		mJobsRunning.Add(1)
+	} else {
+		mJobsQueued.Add(1)
+	}
 	s.cond.Broadcast()
 	return j.status(), nil
 }
@@ -296,12 +304,16 @@ func (s *Server) Cancel(id string) (JobStatus, error) {
 	switch j.state {
 	case Queued:
 		j.state = Cancelled
+		mJobsQueued.Add(-1)
+		jobCompleted(Cancelled)
 		s.cond.Broadcast()
 	case Running:
 		if j.coord != nil {
 			// No local execution to interrupt: the ledger simply stops
 			// accepting claims and reports.
 			j.state = Cancelled
+			mJobsRunning.Add(-1)
+			jobCompleted(Cancelled)
 			s.cond.Broadcast()
 		} else {
 			j.cancel() // executor publishes the terminal state
@@ -380,6 +392,8 @@ func (s *Server) runJob(j *job) {
 	}
 	j.state = Running
 	j.cancel = cancel
+	mJobsQueued.Add(-1)
+	mJobsRunning.Add(1)
 	s.cond.Broadcast()
 	s.mu.Unlock()
 
@@ -387,6 +401,7 @@ func (s *Server) runJob(j *job) {
 		line := CellLine{Cell: cr.Cell.Index, Label: cr.Cell.Label, Summary: spec.FormatSummary(cr.Summary)}
 		s.mu.Lock()
 		j.results = append(j.results, line)
+		mCellsStreamed.Inc()
 		s.cond.Broadcast()
 		s.mu.Unlock()
 	})
@@ -402,6 +417,8 @@ func (s *Server) runJob(j *job) {
 		j.state = Failed
 		j.err = err.Error()
 	}
+	mJobsRunning.Add(-1)
+	jobCompleted(j.state)
 	s.cond.Broadcast()
 	s.mu.Unlock()
 }
@@ -420,7 +437,13 @@ func (s *Server) Drain(ctx context.Context) error {
 		for _, id := range s.ids {
 			j := s.jobs[id]
 			if j.state == Queued || (j.state == Running && j.coord != nil) {
+				if j.state == Queued {
+					mJobsQueued.Add(-1)
+				} else {
+					mJobsRunning.Add(-1)
+				}
 				j.state = Cancelled
+				jobCompleted(Cancelled)
 			}
 		}
 		s.cond.Broadcast()

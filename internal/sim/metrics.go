@@ -1,0 +1,15 @@
+// Simulator instrumentation: epoch-swap counts, recorded only at epoch
+// boundaries (every EpochLength rounds), never inside the per-round
+// delivery loop — the static fast path contains no metrics code at all, so
+// BenchmarkSimRoundLoop's hot path is untouched. Gated on
+// metrics.Enabled() and observe-only: counts never feed back into the run.
+package sim
+
+import "dualgraph/internal/metrics"
+
+var (
+	mEpochSwaps = metrics.NewCounter("sim_epoch_swaps_total",
+		"Epoch boundaries where the schedule installed a different network.")
+	mEpochSwapsNoop = metrics.NewCounter("sim_epoch_swaps_noop_total",
+		"Epoch boundaries where the schedule returned the same network pointer (no swap work).")
+)

@@ -20,6 +20,7 @@ import (
 	"math/rand"
 
 	"dualgraph/internal/graph"
+	"dualgraph/internal/metrics"
 )
 
 // CollisionRule selects one of the paper's collision rules, in decreasing
@@ -1022,7 +1023,13 @@ func (st *runState) swapEpoch(e int) error {
 			ErrBadEpoch, e, nd.Source(), st.src)
 	}
 	if nd == st.d {
+		if metrics.Enabled() {
+			mEpochSwapsNoop.Inc()
+		}
 		return nil
+	}
+	if metrics.Enabled() {
+		mEpochSwaps.Inc()
 	}
 	st.d = nd
 	st.view.Dual = nd

@@ -351,6 +351,15 @@ func (b *Built) RunStream(trials int, ec engine.Config, sc engine.StreamConfig) 
 	return b.RunStreamContext(context.Background(), trials, ec, sc)
 }
 
+// RunStreamFromContext is RunStreamContext with the checkpoint-restore seed
+// map and the per-shard completion callback exposed (see
+// engine.RunStreamScheduleFromContext) — the entry point progress trackers
+// and checkpoint writers hook into.
+func (b *Built) RunStreamFromContext(ctx context.Context, trials int, ec engine.Config, sc engine.StreamConfig,
+	seed map[int]*engine.TrialSummary, onShard func(engine.ShardState)) (*engine.TrialSummary, error) {
+	return engine.RunStreamScheduleFromContext(ctx, b.schedule(), b.Alg, b.Adv, b.Cfg, trials, ec, sc, seed, onShard)
+}
+
 // RunContext builds the scenario and executes it once.
 func (s Scenario) RunContext(ctx context.Context) (*sim.Result, error) {
 	b, err := s.Build()

@@ -216,6 +216,24 @@ func feed(ps []*p2, xs []float64) {
 	}
 }
 
+// Snapshot returns an independent deep copy of the stream. The copy shares
+// no state with the original, so a progress reporter can take a snapshot
+// under the lock that guards its accumulator and then query quantiles at
+// leisure while the original keeps folding — the read-only-view primitive
+// behind live percentile reporting.
+func (s *Stream) Snapshot() *Stream {
+	c := *s
+	c.targets = append([]float64(nil), s.targets...)
+	c.exact = append([]float64(nil), s.exact...)
+	if s.p2s != nil {
+		c.p2s = make([]*p2, len(s.p2s))
+		for i, p := range s.p2s {
+			c.p2s[i] = p.clone()
+		}
+	}
+	return &c
+}
+
 // Count returns the number of values folded in.
 func (s *Stream) Count() int64 { return s.count }
 

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check staticcheck test test-short race serve-smoke resume-smoke metrics-smoke bench-smoke bench-json bench-compare docs-registry docs-metrics docs-check ci
+.PHONY: all build vet fmt-check staticcheck test test-short race fuzz-smoke cover-check serve-smoke resume-smoke metrics-smoke bench-smoke bench-json bench-compare docs-registry docs-metrics docs-check ci
 
 all: build
 
@@ -39,14 +39,37 @@ test-short:
 	$(GO) test -short ./...
 
 # Race job scoped to the concurrent core: the trial engine, the simulator it
-# drives, the job service that multiplexes HTTP clients onto the engine, and
-# the observability layer (metrics registry scraped while instruments record;
-# progress tracker fed from worker goroutines).
+# drives, the job service that multiplexes HTTP clients onto the engine, the
+# observability layer (metrics registry scraped while instruments record;
+# progress tracker fed from worker goroutines), and the adversary/exhaustive
+# pair — the adaptive adversary is shared across concurrent trials and forks
+# per run via sim.RunForker, which is exactly the kind of sharing the race
+# detector should watch.
 # -short skips the single-threaded 100k-node stress sim, which the race
 # instrumentation would slow ~10x without exercising any concurrency, and
 # shrinks the service's slow-job fixtures.
 race:
-	$(GO) test -race -short ./internal/engine/... ./internal/sim/... ./internal/service/... ./internal/metrics/... ./internal/progress/...
+	$(GO) test -race -short ./internal/engine/... ./internal/sim/... ./internal/service/... ./internal/metrics/... ./internal/progress/... ./internal/adversary/... ./internal/exhaustive/...
+
+# Short-budget pass over every native fuzz target: the wire formats that
+# cross trust boundaries (spec scenario/sweep JSON, the stats stream codec,
+# checkpoint torn-tail recovery). A few seconds each is enough to replay the
+# checked-in corpus and shake the shallow branches in CI; run `go test
+# -fuzz=<target> -fuzztime=10m <pkg>` for a real hunt.
+FUZZTIME ?= 5s
+fuzz-smoke:
+	$(GO) test -run NONE -fuzz FuzzScenarioUnmarshal -fuzztime $(FUZZTIME) ./internal/spec/
+	$(GO) test -run NONE -fuzz FuzzSweepUnmarshal -fuzztime $(FUZZTIME) ./internal/spec/
+	$(GO) test -run NONE -fuzz FuzzStreamUnmarshal -fuzztime $(FUZZTIME) ./internal/stats/
+	$(GO) test -run NONE -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/checkpoint/
+	$(GO) test -run NONE -fuzz FuzzRecover -fuzztime $(FUZZTIME) ./internal/checkpoint/
+
+# Coverage floor gate: measure per-package statement coverage on the tier-1
+# test suite and fail if any package drops below its checked-in floor
+# (coverage_floors.txt). New packages without a floor are reported but do
+# not fail; give them a line once their tests settle.
+cover-check:
+	$(GO) test -short -cover . ./internal/... | $(GO) run ./cmd/covercheck -floors coverage_floors.txt
 
 # End-to-end smoke of the dgsimd daemon binary: build it, start it on a free
 # port, submit a sweep and stream its results over HTTP, cancel a running
@@ -88,27 +111,28 @@ bench-smoke:
 # 'BenchmarkCheckpoint' is the fsync-per-record write + recover round trip
 # behind -checkpoint/-resume; 'BenchmarkMetrics' is the
 # instrumented-vs-uninstrumented round-loop pair that prices the PR 9
-# observability layer. CI uploads the file so the trend is comparable
-# across PRs.
+# observability layer; 'BenchmarkAdaptive' is the per-round planning cost of
+# the adaptive best-response adversary, transposition-table cold and warm.
+# CI uploads the file so the trend is comparable across PRs.
 bench-json:
-	$(GO) test -run NONE -bench 'BenchmarkEngine|BenchmarkSimRoundLoop|BenchmarkGridSweep|BenchmarkEpochSwap|BenchmarkDynamicSweep|BenchmarkCheckpoint|BenchmarkMetrics' -benchmem -benchtime 3x . > bench_raw.txt
+	$(GO) test -run NONE -bench 'BenchmarkEngine|BenchmarkSimRoundLoop|BenchmarkGridSweep|BenchmarkEpochSwap|BenchmarkDynamicSweep|BenchmarkCheckpoint|BenchmarkMetrics|BenchmarkAdaptive' -benchmem -benchtime 3x . > bench_raw.txt
 	$(GO) test -run NONE -bench 'BenchmarkGraphConstruction|BenchmarkUnreliableMembership|BenchmarkGeometricBuild100k|BenchmarkPreferentialAttachmentBuild100k' -benchmem -benchtime 3x ./internal/graph/ >> bench_raw.txt
-	$(GO) run ./cmd/benchjson < bench_raw.txt > BENCH_pr9.json
+	$(GO) run ./cmd/benchjson < bench_raw.txt > BENCH_pr10.json
 	@rm -f bench_raw.txt
-	@echo "wrote BENCH_pr9.json"
+	@echo "wrote BENCH_pr10.json"
 
 # Regression gate over the trajectory artifact: compare the fresh
-# BENCH_pr9.json against a baseline report (CI fetches the previous run's
+# BENCH_pr10.json against a baseline report (CI fetches the previous run's
 # artifact into $(BENCH_BASELINE); locally point it at any saved report) and
-# fail on a >10% ns/op regression in the gated round-loop and epoch-swap
-# benchmarks. Benchmarks absent from the baseline are informational "new",
-# never failures. Skipped with a notice when no baseline exists (first run,
-# artifact expired) — absence of a baseline must not mask absence of the
-# gate, so the skip prints loudly.
+# fail on a >10% ns/op regression in the gated round-loop, epoch-swap, and
+# adaptive-planning benchmarks. Benchmarks absent from the baseline are
+# informational "new", never failures. Skipped with a notice when no
+# baseline exists (first run, artifact expired) — absence of a baseline must
+# not mask absence of the gate, so the skip prints loudly.
 BENCH_BASELINE ?= BENCH_baseline.json
 bench-compare: bench-json
 	@if [ -f "$(BENCH_BASELINE)" ]; then \
-		$(GO) run ./cmd/benchcmp -old "$(BENCH_BASELINE)" -new BENCH_pr9.json; \
+		$(GO) run ./cmd/benchcmp -old "$(BENCH_BASELINE)" -new BENCH_pr10.json; \
 	else \
 		echo "bench-compare: no baseline at $(BENCH_BASELINE); skipping regression gate"; \
 	fi
@@ -143,4 +167,4 @@ docs-check: docs-registry docs-metrics
 			{ echo "$$f drifted from the generator; commit the regenerated file"; exit 1; }; \
 	done
 
-ci: build vet fmt-check staticcheck docs-check test race serve-smoke resume-smoke metrics-smoke
+ci: build vet fmt-check staticcheck docs-check test race fuzz-smoke cover-check serve-smoke resume-smoke metrics-smoke

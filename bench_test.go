@@ -409,6 +409,49 @@ func BenchmarkExtExhaustiveSearch(b *testing.B) {
 	b.ReportMetric(float64(worst), "worst-rounds")
 }
 
+// BenchmarkAdaptiveAdversaryRound prices one planned round of the adaptive
+// best-response adversary on the 5-node clique-bridge: "miss" builds a fresh
+// planner per iteration (cold transposition table, full best-response
+// search), "hit" re-plans the same position against a warmed table, so the
+// pair brackets the table's value.
+func BenchmarkAdaptiveAdversaryRound(b *testing.B) {
+	d, err := graph.CliqueBridge(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched := graph.Static(d)
+	cfg := exhaustive.PlannerConfig{Rule: sim.CR1, SearchRounds: 40}
+	b.Run("miss", func(b *testing.B) {
+		entries := 0
+		for i := 0; i < b.N; i++ {
+			p, err := exhaustive.NewPlanner(sched, core.NewRoundRobin(), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.Plan(nil); err != nil {
+				b.Fatal(err)
+			}
+			entries = p.TableLen()
+		}
+		b.ReportMetric(float64(entries), "table-entries")
+	})
+	b.Run("hit", func(b *testing.B) {
+		p, err := exhaustive.NewPlanner(sched, core.NewRoundRobin(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Plan(nil); err != nil { // warm the table
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Plan(nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // benchEngineTrials is the Monte Carlo workload used to compare the
 // sequential and parallel trial paths: Harmonic Broadcast against the
 // adaptive adversary on the clique-bridge network.

@@ -41,7 +41,7 @@ func run(args []string, w io.Writer) error {
 	var (
 		oldPath   = fs.String("old", "", "baseline benchjson report (required)")
 		newPath   = fs.String("new", "", "candidate benchjson report (required)")
-		match     = fs.String("match", "^Benchmark(SimRoundLoop|EpochSwap)", "regexp selecting the gated benchmarks")
+		match     = fs.String("match", "^Benchmark(SimRoundLoop|EpochSwap|AdaptiveAdversaryRound)", "regexp selecting the gated benchmarks")
 		metric    = fs.String("metric", "ns/op", "metric to compare")
 		threshold = fs.Float64("threshold", 0.10, "maximum allowed fractional regression (0.10 = +10%)")
 	)

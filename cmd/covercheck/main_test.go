@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFloors(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "floors.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const sampleOutput = `ok  	dualgraph/internal/sim	0.154s	coverage: 77.3% of statements
+ok  	dualgraph/internal/graph	0.024s	coverage: 94.7% of statements
+?   	dualgraph/cmd/dgsim	[no test files]
+ok  	dualgraph/internal/new	0.01s	coverage: 12.0% of statements
+`
+
+func TestCoverCheckPasses(t *testing.T) {
+	floors := writeFloors(t, "# floors\ndualgraph/internal/sim 75\ndualgraph/internal/graph 92\n")
+	var out strings.Builder
+	if err := run(floors, strings.NewReader(sampleOutput), &out); err != nil {
+		t.Fatalf("gate failed on passing coverage: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "no floor set") {
+		t.Fatalf("unfloored package not reported:\n%s", out.String())
+	}
+}
+
+func TestCoverCheckFailsBelowFloor(t *testing.T) {
+	floors := writeFloors(t, "dualgraph/internal/sim 90\n")
+	var out strings.Builder
+	if err := run(floors, strings.NewReader(sampleOutput), &out); err == nil {
+		t.Fatalf("gate passed with 77.3%% against floor 90:\n%s", out.String())
+	}
+}
+
+func TestCoverCheckFailsOnMissingPackage(t *testing.T) {
+	floors := writeFloors(t, "dualgraph/internal/vanished 50\n")
+	var out strings.Builder
+	if err := run(floors, strings.NewReader(sampleOutput), &out); err == nil {
+		t.Fatalf("gate passed with a floored package absent from the input:\n%s", out.String())
+	}
+}
+
+func TestCoverCheckRejectsMalformedFloors(t *testing.T) {
+	for _, bad := range []string{
+		"dualgraph/internal/sim\n",
+		"dualgraph/internal/sim 101\n",
+		"dualgraph/internal/sim abc\n",
+		"dualgraph/internal/sim 50\ndualgraph/internal/sim 60\n",
+	} {
+		floors := writeFloors(t, bad)
+		if err := run(floors, strings.NewReader(""), &strings.Builder{}); err == nil {
+			t.Fatalf("malformed floors %q accepted", bad)
+		}
+	}
+}

@@ -551,6 +551,9 @@ type (
 	GreedyCollider = adversary.GreedyCollider
 	// Theorem2Adversary implements the proof rules of Theorem 2.
 	Theorem2Adversary = adversary.Theorem2
+	// AdaptiveAdversary plays an online best-response search each round;
+	// with an unbounded horizon it realizes the exhaustive worst case.
+	AdaptiveAdversary = adversary.Adaptive
 )
 
 // Adversary constructors.
@@ -560,6 +563,10 @@ var (
 	// NewTheorem2Adversary builds the Theorem 2 adversary with the given
 	// bridge process id.
 	NewTheorem2Adversary = adversary.NewTheorem2
+	// NewAdaptiveAdversary validates the search parameters (delivery
+	// horizon, search rounds, node budget, table size; zeros mean the
+	// documented defaults) and builds an adaptive best-response adversary.
+	NewAdaptiveAdversary = adversary.NewAdaptive
 )
 
 // Strongly selective families (Section 5 selection objects).

@@ -1,0 +1,97 @@
+// Adaptive: playing the universal quantifier online. The paper's adversary
+// is a ∀ over delivery behaviours; exhaustive.Search evaluates that
+// quantifier offline by enumerating every behaviour. The adaptive adversary
+// plays it live instead — each round it searches the remaining game tree
+// from the current reaching state and delivers the choice that maximizes
+// the eventual completion round. With an unbounded horizon the two must
+// agree exactly; bounding the horizon h (interference allowed only in
+// rounds 1..h) trades strength for an opponent whose power is tunable.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dualgraph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		n       = 6  // small enough for exhaustive search
+		horizon = 48 // evaluation horizon shared by search and play
+	)
+	net, err := dualgraph.CliqueBridge(n)
+	if err != nil {
+		return err
+	}
+	alg, err := dualgraph.NewStrongSelect(n)
+	if err != nil {
+		return err
+	}
+
+	// The offline answer: enumerate every adversary behaviour.
+	search, err := dualgraph.SearchWorstCase(net, alg, dualgraph.SearchConfig{
+		Rule:    dualgraph.CR1,
+		Horizon: horizon,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d-node clique-bridge, %s, CR1\n\n", n, alg.Name())
+	fmt.Printf("exhaustive search:  worst case %d rounds (%d branches explored)\n",
+		search.WorstRounds, search.Branches)
+
+	// The online answer: the adaptive adversary re-derives the same bound by
+	// playing best responses, one round at a time.
+	adaptive, err := dualgraph.NewAdaptiveAdversary(0, horizon, 0, 0)
+	if err != nil {
+		return err
+	}
+	res, err := dualgraph.Run(net, alg, adaptive, dualgraph.Config{
+		Rule:      dualgraph.CR1,
+		Start:     dualgraph.SyncStart,
+		MaxRounds: horizon,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("adaptive(h=∞) play: broadcast took %d rounds — %s\n\n",
+		res.Rounds, verdict(res.Completed && res.Rounds == search.WorstRounds))
+
+	// Bounding the horizon weakens the opponent monotonically: deliveries
+	// are allowed only in rounds 1..h, so each h's strategies nest inside
+	// the next.
+	fmt.Println("delivery horizon sweep (interference allowed only in rounds 1..h):")
+	for _, h := range []int{1, 2, 3, 4} {
+		capped, err := dualgraph.NewAdaptiveAdversary(h, horizon, 0, 0)
+		if err != nil {
+			return err
+		}
+		r, err := dualgraph.Run(net, alg, capped, dualgraph.Config{
+			Rule:      dualgraph.CR1,
+			Start:     dualgraph.SyncStart,
+			MaxRounds: horizon,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  h=%d: %d rounds\n", h, r.Rounds)
+	}
+	fmt.Println("\nTakeaway: the adaptive adversary is the exhaustive worst case made")
+	fmt.Println("playable — it composes with any engine feature (sweeps, dynamic")
+	fmt.Println("schedules, checkpointing) because it is just another adversary.")
+	return nil
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "matches the exhaustive bound"
+	}
+	return "MISMATCH"
+}

@@ -1,0 +1,73 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzRecover drives the public torn-tail recovery path end to end: fuzz
+// bytes land in a real file, Recover must never panic, every rejection must
+// be typed, and a successful recovery must be idempotent — truncating the
+// file to the reported valid length and recovering again yields the exact
+// same records and length.
+func FuzzRecover(f *testing.F) {
+	recs, meta := testRecords(f, 12)
+	dir, err := os.MkdirTemp("", "ckfuzzrecover")
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	seedPath := filepath.Join(dir, "seed")
+	w, err := Create(seedPath, meta)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			f.Fatal(err)
+		}
+	}
+	w.Close()
+	blob, err := os.ReadFile(seedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add(blob[:len(blob)-3])   // torn record tail
+	f.Add(blob[:len(blob)/2])   // torn mid-file
+	f.Add(blob[:8])             // torn header
+	f.Add([]byte{})             // empty file
+	f.Add([]byte("not a file")) // garbage
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "ck")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, validLen, err := Recover(path, meta)
+		if err != nil {
+			var version *ErrVersion
+			var mismatch *ErrSpecMismatch
+			if !errors.Is(err, ErrCorrupt) && !errors.As(err, &version) && !errors.As(err, &mismatch) {
+				t.Fatalf("rejection is not typed: %v", err)
+			}
+			return
+		}
+		if validLen < 0 || validLen > int64(len(data)) {
+			t.Fatalf("valid length %d outside file size %d", validLen, len(data))
+		}
+		if err := os.WriteFile(path, data[:validLen], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		again, againLen, err := Recover(path, meta)
+		if err != nil {
+			t.Fatalf("recovery of the recovered prefix failed: %v", err)
+		}
+		if againLen != validLen || !reflect.DeepEqual(got, again) {
+			t.Fatalf("recovery not idempotent: (%d records, len %d) then (%d records, len %d)",
+				len(got), validLen, len(again), againLen)
+		}
+	})
+}

@@ -17,6 +17,13 @@
 // the algorithm must be deterministic (it must ignore its rng); the
 // per-round branching is deduplicated by reception signature, which keeps
 // the tree small on the paper's constructions.
+//
+// The package has two drivers over one shared game: Search/SearchSchedule is
+// the offline enumerator (the whole tree, up front), and Planner is the
+// memoized online form of the same search — the engine behind
+// adversary.Adaptive — which best-responds one round at a time against a live
+// run while a transposition table carries everything the earlier rounds
+// already explored.
 package exhaustive
 
 import (
@@ -47,6 +54,12 @@ type Config struct {
 	// rather than silently truncating. It is capped at 62 so a round's
 	// strategy always fits one edge-id bitset word.
 	MaxArcsPerRound int
+	// Seed drives epoch materialization for schedule-aware searches
+	// (SearchSchedule): the worst case is searched within the topology
+	// trajectory this seed induces. Static searches ignore it beyond the
+	// (inert) process rngs, so the default 0 reproduces the historical
+	// Search behaviour exactly.
+	Seed int64
 }
 
 func (c Config) withDefaults() Config {
@@ -92,7 +105,7 @@ type Arc struct {
 	From, To graph.NodeID
 }
 
-// Errors returned by Search.
+// Errors returned by Search and Planner.
 var (
 	ErrBudgetExceeded = errors.New("exhaustive search exceeded its branch budget")
 	ErrTooManyArcs    = errors.New("too many deliverable unreliable arcs in one round")
@@ -101,8 +114,16 @@ var (
 // Search explores all adversary delivery behaviours for alg on d and
 // returns the worst case. The proc assignment is the identity.
 func Search(d *graph.Dual, alg sim.Algorithm, cfg Config) (*Result, error) {
+	return SearchSchedule(graph.Static(d), alg, cfg)
+}
+
+// SearchSchedule is Search over a time-varying network: the adversary's
+// per-round choices are searched within the topology trajectory that
+// (sched, cfg.Seed) induces, with each round's deliverable arcs and edge ids
+// resolved against that round's epoch. A static schedule is exactly Search.
+func SearchSchedule(sched graph.Schedule, alg sim.Algorithm, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	s := &searcher{d: d, alg: alg, cfg: cfg}
+	s := &searcher{g: newGame(sched, alg, cfg.Rule, cfg.Start, cfg.Seed), cfg: cfg}
 	res := &Result{AllComplete: true}
 	if err := s.explore(nil, res); err != nil {
 		return nil, err
@@ -112,16 +133,66 @@ func Search(d *graph.Dual, alg sim.Algorithm, cfg Config) (*Result, error) {
 }
 
 type searcher struct {
-	d        *graph.Dual
-	alg      sim.Algorithm
+	g        *game
 	cfg      Config
 	branches int
 }
 
+// game is the machinery shared by the offline searcher and the online
+// planner: a fixed (schedule, algorithm, rule, start, seed) tuple, script
+// replay through the simulator, and the per-round dual resolution that keeps
+// edge ids epoch-correct on dynamic schedules.
+type game struct {
+	sched graph.Schedule
+	alg   sim.Algorithm
+	rule  sim.CollisionRule
+	start sim.StartRule
+	seed  int64
+
+	// One-entry epoch cache: searches resolve the same round's dual many
+	// times in a row, and Epoch's purity contract makes the memo exact.
+	cachedEpoch int
+	cachedDual  *graph.Dual
+}
+
+func newGame(sched graph.Schedule, alg sim.Algorithm, rule sim.CollisionRule, start sim.StartRule, seed int64) *game {
+	return &game{sched: sched, alg: alg, rule: rule, start: start, seed: seed, cachedEpoch: -1}
+}
+
+// dualAt returns the network of the given (1-based) round.
+func (g *game) dualAt(round int) (*graph.Dual, error) {
+	e := 0
+	if l := g.sched.EpochLength(); l > 0 {
+		e = (round - 1) / l
+	}
+	if e == g.cachedEpoch {
+		return g.cachedDual, nil
+	}
+	d, err := g.sched.Epoch(e, g.seed)
+	if err != nil {
+		return nil, fmt.Errorf("schedule epoch %d: %w", e, err)
+	}
+	g.cachedEpoch, g.cachedDual = e, d
+	return d, nil
+}
+
+// replay runs the algorithm under the given script for exactly `rounds`
+// rounds and returns the transcript.
+func (g *game) replay(script [][]graph.EdgeID, rounds int) (*sim.Result, error) {
+	return sim.RunDynamic(g.sched, g.alg, &scriptedAdversary{script: script}, sim.Config{
+		Rule:           g.rule,
+		Start:          g.start,
+		MaxRounds:      rounds,
+		Seed:           g.seed,
+		RecordSenders:  true,
+		RunToMaxRounds: true,
+	})
+}
+
 // scriptedAdversary replays a fixed per-round script of unreliable edge
-// ids; rounds beyond the script deliver nothing.
+// ids; rounds beyond the script deliver nothing. Edge ids are dense per
+// epoch, so they are always resolved against the View's current Dual.
 type scriptedAdversary struct {
-	d      *graph.Dual
 	script [][]graph.EdgeID
 }
 
@@ -146,7 +217,7 @@ func (a *scriptedAdversary) Deliver(v *sim.View, _ []graph.NodeID) map[graph.Nod
 	}
 	out := make(map[graph.NodeID][]graph.NodeID)
 	for _, id := range a.script[v.Round-1] {
-		from, to := a.d.UnreliableEdge(id)
+		from, to := v.Dual.UnreliableEdge(id)
 		out[from] = append(out[from], to)
 	}
 	return out
@@ -167,19 +238,6 @@ func (a *scriptedAdversary) Resolve(_ *sim.View, _ graph.NodeID, _ []graph.NodeI
 	return sim.NoDelivery
 }
 
-// replay runs the algorithm under the given script for exactly `rounds`
-// rounds and returns the transcript.
-func (s *searcher) replay(script [][]graph.EdgeID, rounds int) (*sim.Result, error) {
-	return sim.Run(s.d, s.alg, &scriptedAdversary{d: s.d, script: script}, sim.Config{
-		Rule:           s.cfg.Rule,
-		Start:          s.cfg.Start,
-		MaxRounds:      rounds,
-		Seed:           0,
-		RecordSenders:  true,
-		RunToMaxRounds: true,
-	})
-}
-
 // explore extends the script by one round in every inequivalent way.
 func (s *searcher) explore(script [][]graph.EdgeID, res *Result) error {
 	s.branches++
@@ -190,7 +248,7 @@ func (s *searcher) explore(script [][]graph.EdgeID, res *Result) error {
 
 	// Replay the prefix plus one round with no deliveries to learn the
 	// senders of round depth+1 and the holder set entering it.
-	run, err := s.replay(script, depth+1)
+	run, err := s.g.replay(script, depth+1)
 	if err != nil {
 		return err
 	}
@@ -200,7 +258,10 @@ func (s *searcher) explore(script [][]graph.EdgeID, res *Result) error {
 	if complete {
 		if completionRound > res.WorstRounds {
 			res.WorstRounds = completionRound
-			res.WorstDeliveries = s.decodeScript(script)
+			res.WorstDeliveries, err = s.g.decodeScript(script)
+			if err != nil {
+				return err
+			}
 		}
 		return nil
 	}
@@ -208,13 +269,20 @@ func (s *searcher) explore(script [][]graph.EdgeID, res *Result) error {
 		res.AllComplete = false
 		if s.cfg.Horizon+1 > res.WorstRounds {
 			res.WorstRounds = s.cfg.Horizon + 1
-			res.WorstDeliveries = s.decodeScript(script)
+			res.WorstDeliveries, err = s.g.decodeScript(script)
+			if err != nil {
+				return err
+			}
 		}
 		return nil
 	}
 
+	d, err := s.g.dualAt(depth + 1)
+	if err != nil {
+		return err
+	}
 	senders := sendersAsNodes(run, depth+1)
-	edges := s.deliverableEdges(senders)
+	edges := deliverableEdges(d, senders)
 	if len(edges) > s.cfg.MaxArcsPerRound {
 		return fmt.Errorf("%w: %d arcs at round %d (cap %d)", ErrTooManyArcs, len(edges), depth+1, s.cfg.MaxArcsPerRound)
 	}
@@ -224,23 +292,28 @@ func (s *searcher) explore(script [][]graph.EdgeID, res *Result) error {
 	for mask := uint64(0); mask < 1<<len(edges); mask++ {
 		// The strategy is the edge-id bitset `mask` over this round's
 		// deliverable arcs; materialize it only when it survives dedup.
-		sig := s.receptionSignature(senders, edges, mask, holders)
+		sig := receptionSignature(d, s.cfg.Rule, senders, edges, mask, holders)
 		if seen[sig] {
 			continue
 		}
 		seen[sig] = true
-		choice := make([]graph.EdgeID, 0, len(edges))
-		for i, id := range edges {
-			if mask&(1<<uint(i)) != 0 {
-				choice = append(choice, id)
-			}
-		}
-		next := append(cloneScript(script), choice)
+		next := append(cloneScript(script), decodeMask(edges, mask))
 		if err := s.explore(next, res); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// decodeMask materializes the edge-id subset the bitset mask selects.
+func decodeMask(edges []graph.EdgeID, mask uint64) []graph.EdgeID {
+	choice := make([]graph.EdgeID, 0, len(edges))
+	for i, id := range edges {
+		if mask&(1<<uint(i)) != 0 {
+			choice = append(choice, id)
+		}
+	}
+	return choice
 }
 
 // completionOf returns the completion round if all nodes received the
@@ -284,12 +357,12 @@ func holdersEntering(run *sim.Result, rounds int) []bool {
 }
 
 // deliverableEdges lists the ids of the unreliable arcs available to the
-// senders. Ids are emitted in ascending order: senders arrive sorted and
-// each sender's fringe row is a contiguous ascending id range.
-func (s *searcher) deliverableEdges(senders []graph.NodeID) []graph.EdgeID {
+// senders on d. Ids are emitted in ascending order: senders arrive sorted
+// and each sender's fringe row is a contiguous ascending id range.
+func deliverableEdges(d *graph.Dual, senders []graph.NodeID) []graph.EdgeID {
 	var edges []graph.EdgeID
 	for _, snd := range senders {
-		base, targets := s.d.UnreliableEdges(snd)
+		base, targets := d.UnreliableEdges(snd)
 		for i := range targets {
 			edges = append(edges, base+graph.EdgeID(i))
 		}
@@ -298,50 +371,56 @@ func (s *searcher) deliverableEdges(senders []graph.NodeID) []graph.EdgeID {
 }
 
 // decodeScript expands a per-round edge-id script into (from, to) arcs for
-// the public result.
-func (s *searcher) decodeScript(script [][]graph.EdgeID) [][]Arc {
+// the public result, resolving each round's ids against that round's epoch.
+func (g *game) decodeScript(script [][]graph.EdgeID) ([][]Arc, error) {
 	out := make([][]Arc, len(script))
 	for r, round := range script {
+		d, err := g.dualAt(r + 1)
+		if err != nil {
+			return nil, err
+		}
 		arcs := make([]Arc, len(round))
 		for i, id := range round {
-			from, to := s.d.UnreliableEdge(id)
+			from, to := d.UnreliableEdge(id)
 			arcs[i] = Arc{From: from, To: to}
 		}
 		out[r] = arcs
 	}
-	return out
+	return out, nil
 }
 
 // receptionSignature summarizes the observable outcome of a delivery choice
 // (the bitset `mask` over `edges`): per node, the reception kind and (for
 // deliveries) the sending node and its holder status. Choices with equal
 // signatures lead to identical algorithm states and need exploring only
-// once.
-func (s *searcher) receptionSignature(senders []graph.NodeID, edges []graph.EdgeID, mask uint64, holders []bool) string {
-	n := s.d.N()
+// once — and, chained round by round, the signatures fully determine the
+// execution state, which is what makes the planner's transposition keys
+// exact.
+func receptionSignature(d *graph.Dual, rule sim.CollisionRule, senders []graph.NodeID, edges []graph.EdgeID, mask uint64, holders []bool) string {
+	n := d.N()
 	reaching := make([][]graph.NodeID, n)
 	isSender := make([]bool, n)
 	for _, snd := range senders {
 		isSender[snd] = true
 		reaching[snd] = append(reaching[snd], snd)
-		for _, v := range s.d.ReliableOut(snd) {
+		for _, v := range d.ReliableOut(snd) {
 			reaching[v] = append(reaching[v], snd)
 		}
 	}
 	for i, id := range edges {
 		if mask&(1<<uint(i)) != 0 {
-			from, to := s.d.UnreliableEdge(id)
+			from, to := d.UnreliableEdge(id)
 			reaching[to] = append(reaching[to], from)
 		}
 	}
 	sig := make([]byte, 0, 2*n)
 	for node := 0; node < n; node++ {
-		sig = append(sig, s.receptionByte(graph.NodeID(node), isSender[node], reaching[node], holders)...)
+		sig = append(sig, receptionByte(rule, graph.NodeID(node), isSender[node], reaching[node], holders)...)
 	}
 	return string(sig)
 }
 
-func (s *searcher) receptionByte(node graph.NodeID, isSender bool, reaching []graph.NodeID, holders []bool) []byte {
+func receptionByte(rule sim.CollisionRule, node graph.NodeID, isSender bool, reaching []graph.NodeID, holders []bool) []byte {
 	const (
 		silence   = 0xFE
 		collision = 0xFF
@@ -353,7 +432,7 @@ func (s *searcher) receptionByte(node graph.NodeID, isSender bool, reaching []gr
 		}
 		return []byte{byte(from), b}
 	}
-	switch s.cfg.Rule {
+	switch rule {
 	case sim.CR1:
 		switch len(reaching) {
 		case 0:
@@ -373,7 +452,7 @@ func (s *searcher) receptionByte(node graph.NodeID, isSender bool, reaching []gr
 		case 1:
 			return delivered(reaching[0])
 		}
-		if s.cfg.Rule == sim.CR2 {
+		if rule == sim.CR2 {
 			return []byte{collision, 0}
 		}
 		return []byte{silence, 0}

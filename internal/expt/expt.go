@@ -76,6 +76,7 @@ func All() []Experiment {
 		extLinkCulling(),
 		extBroadcastability(),
 		extExhaustive(),
+		extAdaptive(),
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
 	return exps

@@ -341,6 +341,37 @@ var adversaries = map[string]*advEntry{
 			return adversary.GreedyCollider{}, nil
 		},
 	},
+	"adaptive": {
+		Entry: Entry{
+			Name: "adaptive",
+			Doc:  "online best-response search over fringe deliveries (exact worst case on small networks; fails beyond 16 deliverable arcs per round)",
+			Params: []ParamDoc{
+				{Name: "horizon", Type: "int", Default: 0, Doc: "delivery horizon h: rounds 1..h may deliver; 0 = unbounded"},
+				{Name: "search-rounds", Type: "int", Default: 0, Doc: "evaluation horizon of the search; 0 = 32"},
+				{Name: "node-budget", Type: "int", Default: 0, Doc: "search expansions per planned round; 0 = 200000"},
+				{Name: "table-size", Type: "int", Default: 0, Doc: "transposition-table entry cap; 0 = 65536"},
+			},
+		},
+		build: func(e Entry, p Params) (sim.Adversary, error) {
+			horizon, err := getInt(p, mustDoc(e, "horizon"))
+			if err != nil {
+				return nil, err
+			}
+			searchRounds, err := getInt(p, mustDoc(e, "search-rounds"))
+			if err != nil {
+				return nil, err
+			}
+			nodeBudget, err := getInt(p, mustDoc(e, "node-budget"))
+			if err != nil {
+				return nil, err
+			}
+			tableSize, err := getInt(p, mustDoc(e, "table-size"))
+			if err != nil {
+				return nil, err
+			}
+			return adversary.NewAdaptive(horizon, searchRounds, nodeBudget, tableSize)
+		},
+	},
 	"full": {
 		Entry: Entry{Name: "full", Doc: "always delivers every unreliable edge"},
 		build: func(_ Entry, _ Params) (sim.Adversary, error) {

@@ -196,6 +196,23 @@ type Adversary interface {
 	Resolve(v *View, node graph.NodeID, reaching []graph.NodeID) graph.NodeID
 }
 
+// RunForker is the per-run instantiation hook for stateful adversaries. The
+// engine shares one Adversary value across every (possibly concurrent) trial
+// of a sweep, which forces implementations to be stateless; an adversary
+// that needs per-run state — search memos, a script of its own past choices —
+// implements RunForker, and RunDynamic replaces it with the forked instance
+// for the duration of that run. ForkRun is called once per run, after config
+// defaults are applied and before AssignProcs; it must not mutate the
+// receiver (concurrent trials fork concurrently). The returned adversary is
+// used as-is: it is not forked again, so a fork returning its receiver must
+// be safe for that run.
+type RunForker interface {
+	// ForkRun returns the adversary instance this run will use, built
+	// against the run's schedule, algorithm, and effective (defaulted)
+	// config.
+	ForkRun(sched graph.Schedule, alg Algorithm, cfg Config) (Adversary, error)
+}
+
 // BufferedDeliverer is the allocation-free delivery fast path: instead of
 // returning a freshly allocated map every round, the adversary pushes each
 // unreliable delivery into the engine-owned DeliverySink. Run prefers this
@@ -301,6 +318,18 @@ func (ds *DeliverySink) AddEdgeID(id graph.EdgeID) {
 		return
 	}
 	ds.buf.addUnrel(v, s)
+}
+
+// Fail latches err as this round's delivery failure, aborting the run with
+// it. It is the typed failure path for adversaries whose DeliverInto can
+// fail internally (a planning adversary exceeding a search cap, say) —
+// without it they could only signal by delivering something invalid. The
+// first latched error wins, matching the sink's own validation; a nil err is
+// ignored.
+func (ds *DeliverySink) Fail(err error) {
+	if ds.err == nil && err != nil {
+		ds.err = err
+	}
 }
 
 // Scratch returns two zeroed n-length scratch slices that an adversary may
@@ -813,6 +842,9 @@ type Result struct {
 	ProcOf []int
 }
 
+// errNilFork guards the RunForker contract.
+var errNilFork = errors.New("RunForker returned a nil adversary")
+
 // Errors returned by Run.
 var (
 	ErrBadAssignment = errors.New("adversary returned an invalid proc assignment")
@@ -845,6 +877,15 @@ func RunDynamic(sched graph.Schedule, alg Algorithm, adv Adversary, cfg Config) 
 	}
 	n := d.N()
 	cfg = cfg.withDefaults(n)
+	if f, ok := adv.(RunForker); ok {
+		adv, err = f.ForkRun(sched, alg, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fork adversary: %w", err)
+		}
+		if adv == nil {
+			return nil, fmt.Errorf("fork adversary: %w", errNilFork)
+		}
+	}
 	baseRng := rand.New(rand.NewSource(cfg.Seed))
 	assignRng := rand.New(rand.NewSource(baseRng.Int63()))
 	advRng := rand.New(rand.NewSource(baseRng.Int63()))
